@@ -1,0 +1,531 @@
+//! The full ATPG flow: random phase with fault dropping, deterministic
+//! PODEM phase, and reverse-order test-set compaction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsyn_netlist::{CombView, Netlist};
+
+use crate::fault::{Fault, FaultKind, FaultStatus};
+use crate::podem::{Podem, PodemOutcome, Target};
+use crate::sim::FaultSim;
+use crate::testset::{Pattern, TestSet};
+
+/// Options controlling the ATPG run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AtpgOptions {
+    /// Number of 64-pattern random words simulated before PODEM.
+    pub random_words: usize,
+    /// PODEM backtrack limit (searches beyond it abort).
+    pub backtrack_limit: usize,
+    /// Seed for the random phase.
+    pub seed: u64,
+    /// Whether to run reverse-order test compaction.
+    pub compact: bool,
+}
+
+impl Default for AtpgOptions {
+    fn default() -> Self {
+        Self { random_words: 8, backtrack_limit: 256, seed: 0xDA7E, compact: true }
+    }
+}
+
+/// The outcome of an ATPG run.
+#[derive(Clone, Debug)]
+pub struct AtpgResult {
+    /// Per-fault status, parallel to the input fault list.
+    pub statuses: Vec<FaultStatus>,
+    /// The generated (compacted) test set.
+    pub tests: TestSet,
+}
+
+impl AtpgResult {
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.statuses.iter().filter(|s| **s == FaultStatus::Detected).count()
+    }
+
+    /// Number of provably undetectable faults (the paper's `U`).
+    pub fn undetectable_count(&self) -> usize {
+        self.statuses.iter().filter(|s| **s == FaultStatus::Undetectable).count()
+    }
+
+    /// Number of aborted searches (reported, never counted in `U`).
+    pub fn aborted_count(&self) -> usize {
+        self.statuses.iter().filter(|s| **s == FaultStatus::Aborted).count()
+    }
+
+    /// Fault coverage as the paper defines it: `1 − U/F`.
+    pub fn coverage(&self) -> f64 {
+        if self.statuses.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.undetectable_count() as f64 / self.statuses.len() as f64
+    }
+
+    /// Indices of the undetectable faults.
+    pub fn undetectable_indices(&self) -> Vec<usize> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == FaultStatus::Undetectable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Expands a fault into its PODEM targets (any one detection suffices).
+pub fn targets_of(fault: &Fault) -> Vec<Target> {
+    match &fault.kind {
+        FaultKind::StuckAt { net, value } => vec![Target::StuckAt { net: *net, value: *value }],
+        FaultKind::Transition { net, rising } => {
+            vec![Target::StuckAt { net: *net, value: !*rising }]
+        }
+        FaultKind::Bridge { a, b, kind } => vec![
+            Target::BridgeVictim { a: *a, b: *b, kind: *kind, victim_is_a: true },
+            Target::BridgeVictim { a: *a, b: *b, kind: *kind, victim_is_a: false },
+        ],
+        FaultKind::CellAware { gate, conditions } => conditions
+            .iter()
+            .map(|cond| Target::CellCondition { gate: *gate, cond: *cond })
+            .collect(),
+    }
+}
+
+/// Checks which faults the given test set detects (overlapping 64-lane
+/// windows preserve transition-fault pattern pairs). Used by the engine's
+/// own compaction invariants and exposed for cross-checking in tests.
+pub fn covers(nl: &Netlist, view: &CombView, faults: &[Fault], tests: &TestSet) -> Vec<bool> {
+    let mut covered = vec![false; faults.len()];
+    if tests.is_empty() {
+        return covered;
+    }
+    let mut sim = FaultSim::new(nl, view);
+    let mut offset = 0usize;
+    loop {
+        let lanes = tests.lanes(offset, view.pis.len());
+        sim.set_patterns(&lanes);
+        for (fi, fault) in faults.iter().enumerate() {
+            if covered[fi] {
+                continue;
+            }
+            let det = sim.detect_lanes(fault);
+            // Only count lanes that map to real test indices.
+            let valid = (tests.len() - offset).min(64);
+            let mask = if valid >= 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            if det & mask != 0 {
+                covered[fi] = true;
+            }
+        }
+        if offset + 64 >= tests.len() {
+            break;
+        }
+        offset += 63;
+    }
+    covered
+}
+
+/// Runs the full ATPG flow on a fault list.
+///
+/// Fault statuses come back parallel to `faults`; `Undetectable` is a proof
+/// (complete PODEM search), `Aborted` marks backtrack-limit hits.
+pub fn run_atpg(nl: &Netlist, view: &CombView, faults: &[Fault], options: &AtpgOptions) -> AtpgResult {
+    let mut statuses = vec![FaultStatus::Undetected; faults.len()];
+    let mut tests = TestSet::new();
+    let mut sim = FaultSim::new(nl, view);
+    let npis = view.pis.len();
+
+    // --- random phase ---------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    for _ in 0..options.random_words {
+        let lanes: Vec<u64> = (0..npis).map(|_| rng.gen()).collect();
+        sim.set_patterns(&lanes);
+        let mut used_lanes: Vec<(usize, bool)> = Vec::new(); // (lane, needs predecessor)
+        for (fi, fault) in faults.iter().enumerate() {
+            if statuses[fi] != FaultStatus::Undetected {
+                continue;
+            }
+            let det = sim.detect_lanes(fault);
+            if det != 0 {
+                statuses[fi] = FaultStatus::Detected;
+                let lane = det.trailing_zeros() as usize;
+                used_lanes.push((lane, matches!(fault.kind, FaultKind::Transition { .. })));
+            }
+        }
+        // Emit the union of detecting lanes (plus each transition launch's
+        // predecessor) in ascending lane order, so initialisation patterns
+        // always precede their launch patterns in the test set.
+        let mut emit = [false; 64];
+        for (lane, needs_pred) in used_lanes {
+            emit[lane] = true;
+            if needs_pred && lane > 0 {
+                emit[lane - 1] = true;
+            }
+        }
+        for (lane, &e) in emit.iter().enumerate() {
+            if e {
+                tests.push(lane_pattern(&lanes, lane, npis));
+            }
+        }
+    }
+
+    // --- deterministic phase -----------------------------------------------------
+    // Every PODEM detection is confirmed against the independent fault
+    // simulator before it is trusted (standard pattern-verification). A
+    // detection the simulator cannot confirm — possible only for faults
+    // whose behaviour falls outside the combinational single-fault
+    // semantics, such as feedback bridges — is reported as aborted, never
+    // as undetectable.
+    let mut podem = Podem::new(nl, view, options.backtrack_limit);
+    let mut drop_buffer: Vec<Pattern> = Vec::new();
+    let confirm = |sim: &mut FaultSim<'_>, fault: &Fault, pair: &[&Pattern]| -> bool {
+        let mut lanes = vec![0u64; npis];
+        for (k, p) in pair.iter().enumerate() {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if p.get(i) {
+                    *lane |= 1 << k;
+                }
+            }
+        }
+        sim.set_patterns(&lanes);
+        let det = sim.detect_lanes(fault);
+        det & ((1 << pair.len()) - 1) != 0
+    };
+    for fi in 0..faults.len() {
+        if statuses[fi] != FaultStatus::Undetected {
+            continue;
+        }
+        let fault = &faults[fi];
+        let mut any_aborted = false;
+        let mut detected = false;
+        for target in targets_of(fault) {
+            match podem.run(&target) {
+                PodemOutcome::Detected(p) => {
+                    // Transition faults need a preceding initialisation
+                    // pattern; justify it (completeness: if initialisation
+                    // is impossible the fault is undetectable).
+                    if let FaultKind::Transition { net, rising } = fault.kind {
+                        match podem.run(&Target::Justify { net, value: !rising }) {
+                            PodemOutcome::Detected(init) => {
+                                if confirm(&mut sim, fault, &[&init, &p]) {
+                                    drop_buffer.push(init.clone());
+                                    drop_buffer.push(p.clone());
+                                    tests.push(init);
+                                    tests.push(p);
+                                    detected = true;
+                                } else {
+                                    any_aborted = true;
+                                }
+                            }
+                            PodemOutcome::Undetectable => {}
+                            PodemOutcome::Aborted => any_aborted = true,
+                        }
+                    } else if confirm(&mut sim, fault, &[&p]) {
+                        drop_buffer.push(p.clone());
+                        tests.push(p);
+                        detected = true;
+                    } else {
+                        any_aborted = true;
+                    }
+                    if detected {
+                        break;
+                    }
+                }
+                PodemOutcome::Undetectable => {}
+                PodemOutcome::Aborted => any_aborted = true,
+            }
+        }
+        statuses[fi] = if detected {
+            FaultStatus::Detected
+        } else if any_aborted {
+            FaultStatus::Aborted
+        } else {
+            FaultStatus::Undetectable
+        };
+
+        // Periodically fault-drop with the freshly generated patterns.
+        if drop_buffer.len() >= 64 || (detected && drop_buffer.len() >= 32) {
+            drop_faults(&mut sim, faults, &mut statuses, &drop_buffer, npis);
+            drop_buffer.clear();
+        }
+    }
+    if !drop_buffer.is_empty() {
+        drop_faults(&mut sim, faults, &mut statuses, &drop_buffer, npis);
+    }
+
+    // --- compaction -----------------------------------------------------------------
+    if options.compact && !tests.is_empty() {
+        compact(nl, view, faults, &statuses, &mut tests);
+    }
+
+    AtpgResult { statuses, tests }
+}
+
+fn lane_pattern(lanes: &[u64], lane: usize, npis: usize) -> Pattern {
+    let mut p = Pattern::zeros(npis);
+    for (i, &w) in lanes.iter().enumerate() {
+        p.set(i, (w >> lane) & 1 == 1);
+    }
+    p
+}
+
+fn drop_faults(
+    sim: &mut FaultSim<'_>,
+    faults: &[Fault],
+    statuses: &mut [FaultStatus],
+    patterns: &[Pattern],
+    npis: usize,
+) {
+    for chunk in patterns.chunks(64) {
+        let mut lanes = vec![0u64; npis];
+        for (k, p) in chunk.iter().enumerate() {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if p.get(i) {
+                    *lane |= 1 << k;
+                }
+            }
+        }
+        // Replicate the last pattern into unused lanes so transition
+        // sequencing stays within the chunk.
+        if chunk.len() < 64 {
+            let last = chunk.len() - 1;
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if chunk[last].get(i) {
+                    for k in chunk.len()..64 {
+                        *lane |= 1 << k;
+                    }
+                }
+            }
+        }
+        sim.set_patterns(&lanes);
+        for (fi, fault) in faults.iter().enumerate() {
+            if statuses[fi] != FaultStatus::Undetected {
+                continue;
+            }
+            if sim.detect_lanes(fault) != 0 {
+                statuses[fi] = FaultStatus::Detected;
+            }
+        }
+    }
+}
+
+/// Reverse-order compaction: walk tests from last to first, keeping a test
+/// only if it detects a fault no later-kept test detects. Initialisation
+/// predecessors of kept transition-detecting tests are kept as well.
+fn compact(nl: &Netlist, view: &CombView, faults: &[Fault], statuses: &[FaultStatus], tests: &mut TestSet) {
+    let npis = view.pis.len();
+    let detected: Vec<usize> = statuses
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == FaultStatus::Detected)
+        .map(|(i, _)| i)
+        .collect();
+    if detected.is_empty() {
+        tests.retain_indices(&[]);
+        return;
+    }
+    // Detection lists per test: test index -> fault indices it detects.
+    // Windows advance by 63 so that every consecutive pattern pair sits
+    // fully inside some window (transition faults need their predecessor).
+    let mut sim = FaultSim::new(nl, view);
+    let n_tests = tests.len();
+    let mut detects_by_test: Vec<Vec<usize>> = vec![Vec::new(); n_tests];
+    let mut offset = 0usize;
+    loop {
+        let lanes = tests.lanes(offset, npis);
+        sim.set_patterns(&lanes);
+        for &fi in &detected {
+            let det = sim.detect_lanes(&faults[fi]);
+            let mut bits = det;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let ti = offset + lane;
+                if ti < n_tests && !detects_by_test[ti].contains(&fi) {
+                    detects_by_test[ti].push(fi);
+                }
+            }
+        }
+        if offset + 64 >= n_tests {
+            break;
+        }
+        offset += 63;
+    }
+    let mut needed: Vec<bool> = vec![false; faults.len()];
+    for &fi in &detected {
+        needed[fi] = true;
+    }
+    let mut keep = vec![false; n_tests];
+    for ti in (0..n_tests).rev() {
+        let mut useful = false;
+        for &fi in &detects_by_test[ti] {
+            if needed[fi] {
+                needed[fi] = false;
+                useful = true;
+                // Transition detections rely on the preceding pattern.
+                if matches!(faults[fi].kind, FaultKind::Transition { .. }) && ti > 0 {
+                    keep[ti - 1] = true;
+                }
+            }
+        }
+        if useful {
+            keep[ti] = true;
+        }
+    }
+    // A fault may have been dropped against a pattern that no longer sits in
+    // the same 64-lane alignment; anything still `needed` keeps its original
+    // first detecting test if one exists, otherwise we keep the set as-is.
+    let still_needed = needed.iter().any(|&n| n);
+    if still_needed {
+        // Conservative: keep everything (correctness over minimality).
+        return;
+    }
+    let kept: Vec<usize> = (0..n_tests).filter(|&i| keep[i]).collect();
+    tests.retain_indices(&kept);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{BridgeKind, CellCondition, FaultOrigin};
+    use rsyn_netlist::{GateId, Library, NetId};
+
+    /// A 4-bit ripple-carry adder-ish circuit with some redundancy.
+    fn build_circuit() -> Netlist {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("c", lib.clone());
+        let fa = lib.cell_id("FAX1").unwrap();
+        let inv = lib.cell_id("INVX1").unwrap();
+        let and = lib.cell_id("AND2X2").unwrap();
+        let a: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let mut carry = nl.const0();
+        for i in 0..4 {
+            let s = nl.add_named_net(format!("s{i}"));
+            let c = nl.add_net();
+            nl.add_gate(format!("fa{i}"), fa, &[a[i], b[i], carry], &[s, c]).unwrap();
+            nl.mark_output(s);
+            carry = c;
+        }
+        nl.mark_output(carry);
+        // Redundant cone: r = a0 & !a0 (constant 0) feeding an inverter.
+        let a0n = nl.add_net();
+        nl.add_gate("ri", inv, &[a[0]], &[a0n]).unwrap();
+        let r = nl.add_named_net("r");
+        nl.add_gate("rg", and, &[a[0], a0n], &[r]).unwrap();
+        let rout = nl.add_named_net("rout");
+        nl.add_gate("ro", inv, &[r], &[rout]).unwrap();
+        nl.mark_output(rout);
+        nl
+    }
+
+    fn all_stuck_at(nl: &Netlist) -> Vec<Fault> {
+        let mut out = Vec::new();
+        for (id, net) in nl.nets() {
+            if net.driver.is_some() && !matches!(net.driver, Some(rsyn_netlist::Driver::Const(_))) {
+                for v in [false, true] {
+                    out.push(Fault::external(FaultKind::StuckAt { net: id, value: v }, 0));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn full_run_classifies_every_fault() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = all_stuck_at(&nl);
+        let r = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        assert_eq!(r.statuses.len(), faults.len());
+        assert!(r.statuses.iter().all(|s| *s != FaultStatus::Undetected));
+        // The redundant net r is constant 0: r SA0 undetectable.
+        let r_net = nl.find_net("r").unwrap();
+        let idx = faults
+            .iter()
+            .position(|f| f.kind == FaultKind::StuckAt { net: r_net, value: false })
+            .unwrap();
+        assert_eq!(r.statuses[idx], FaultStatus::Undetectable);
+        // Adder nets are all testable.
+        let s0 = nl.find_net("s0").unwrap();
+        let idx = faults
+            .iter()
+            .position(|f| f.kind == FaultKind::StuckAt { net: s0, value: true })
+            .unwrap();
+        assert_eq!(r.statuses[idx], FaultStatus::Detected);
+        assert!(r.undetectable_count() >= 1);
+        assert!(r.coverage() < 1.0);
+        assert!(!r.tests.is_empty());
+    }
+
+    /// Every detected fault must actually be detected by the final test set.
+    #[test]
+    fn final_test_set_covers_all_detected_faults() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = all_stuck_at(&nl);
+        let r = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        let covered = covers(&nl, &view, &faults, &r.tests);
+        for (fi, f) in faults.iter().enumerate() {
+            if r.statuses[fi] == FaultStatus::Detected {
+                assert!(covered[fi], "fault {fi} {:?} not covered by final tests", f.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_shrinks_or_keeps_test_count() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = all_stuck_at(&nl);
+        let uncompacted = run_atpg(
+            &nl,
+            &view,
+            &faults,
+            &AtpgOptions { compact: false, ..Default::default() },
+        );
+        let compacted = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        assert!(compacted.tests.len() <= uncompacted.tests.len());
+        assert_eq!(compacted.detected_count(), uncompacted.detected_count());
+    }
+
+    #[test]
+    fn cell_aware_and_bridge_and_transition_mix() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let fa0: GateId = nl.find_gate("fa0").unwrap();
+        let s0 = nl.find_net("s0").unwrap();
+        let s1 = nl.find_net("s1").unwrap();
+        let r_net = nl.find_net("r").unwrap();
+        let faults = vec![
+            Fault::internal(fa0, vec![CellCondition { pattern: 0b011, output: 1 }], 1),
+            Fault::external(FaultKind::Bridge { a: s0, b: s1, kind: BridgeKind::WiredAnd }, 2),
+            Fault::external(FaultKind::Transition { net: s0, rising: true }, 3),
+            // Transition on a constant-0 net: cannot rise, undetectable.
+            Fault::external(FaultKind::Transition { net: r_net, rising: true }, 3),
+        ];
+        let r = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        assert_eq!(r.statuses[0], FaultStatus::Detected, "cell-aware carry flip");
+        assert_eq!(r.statuses[1], FaultStatus::Detected, "bridge s0/s1");
+        assert_eq!(r.statuses[2], FaultStatus::Detected, "slow-to-rise s0");
+        assert_eq!(r.statuses[3], FaultStatus::Undetectable, "transition on constant net");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = all_stuck_at(&nl);
+        let a = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        let b = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        assert_eq!(a.statuses, b.statuses);
+        assert_eq!(a.tests.len(), b.tests.len());
+    }
+
+    #[test]
+    fn internal_faults_in_origin() {
+        let nl = build_circuit();
+        let fa0 = nl.find_gate("fa0").unwrap();
+        let f = Fault::internal(fa0, vec![CellCondition { pattern: 0, output: 0 }], 0);
+        assert_eq!(f.origin, FaultOrigin::Internal { gate: fa0 });
+    }
+}

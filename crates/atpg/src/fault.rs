@@ -1,0 +1,157 @@
+//! Fault models: stuck-at, transition, wired bridging, and cell-aware
+//! (UDFM) faults, each carrying its DFM-guideline provenance.
+
+use rsyn_netlist::{GateId, NetId};
+
+/// Resolution function of a bridging (short) defect between two nets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BridgeKind {
+    /// Both nets read the AND of the two driven values.
+    WiredAnd,
+    /// Both nets read the OR of the two driven values.
+    WiredOr,
+}
+
+/// One detection condition of a cell-aware (UDFM) fault: when the cell's
+/// inputs carry `pattern`, output pin `output` flips.
+///
+/// This is exactly the user-defined-fault-model form of [9]/[11]: a
+/// required cell input pattern plus a faulty output response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellCondition {
+    /// Required cell input minterm (bit `i` = input pin `i`).
+    pub pattern: u64,
+    /// Output pin index whose value flips under the pattern.
+    pub output: u8,
+}
+
+/// The behavioural fault model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Net permanently at `value`.
+    StuckAt {
+        /// Faulty net.
+        net: NetId,
+        /// Stuck value.
+        value: bool,
+    },
+    /// Slow-to-rise (`rising = true`) or slow-to-fall transition fault.
+    Transition {
+        /// Faulty net.
+        net: NetId,
+        /// True for slow-to-rise.
+        rising: bool,
+    },
+    /// Resistive short between two nets.
+    Bridge {
+        /// First net.
+        a: NetId,
+        /// Second net.
+        b: NetId,
+        /// Resolution function.
+        kind: BridgeKind,
+    },
+    /// Cell-internal defect expressed as UDFM conditions on one gate.
+    CellAware {
+        /// The affected gate.
+        gate: GateId,
+        /// Alternative detection conditions (any one suffices).
+        conditions: Vec<CellCondition>,
+    },
+}
+
+/// Whether the fault is internal or external to a standard cell (the
+/// paper's central distinction: internal faults travel with cell choice).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultOrigin {
+    /// Inside one standard-cell instance.
+    Internal {
+        /// The instance.
+        gate: GateId,
+    },
+    /// On wiring between cells.
+    External {
+        /// The nets the defect touches.
+        nets: Vec<NetId>,
+    },
+}
+
+/// A target fault with provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fault {
+    /// Behavioural model.
+    pub kind: FaultKind,
+    /// Internal/external origin.
+    pub origin: FaultOrigin,
+    /// Opaque id of the DFM guideline whose violation produced this fault.
+    pub guideline: u16,
+}
+
+impl Fault {
+    /// Creates an internal (cell-aware) fault.
+    pub fn internal(gate: GateId, conditions: Vec<CellCondition>, guideline: u16) -> Self {
+        Self {
+            kind: FaultKind::CellAware { gate, conditions },
+            origin: FaultOrigin::Internal { gate },
+            guideline,
+        }
+    }
+
+    /// Creates an external fault, deriving the touched nets from the kind.
+    pub fn external(kind: FaultKind, guideline: u16) -> Self {
+        let nets = match &kind {
+            FaultKind::StuckAt { net, .. } | FaultKind::Transition { net, .. } => vec![*net],
+            FaultKind::Bridge { a, b, .. } => vec![*a, *b],
+            FaultKind::CellAware { .. } => {
+                panic!("cell-aware faults are internal; use Fault::internal")
+            }
+        };
+        Self { kind, origin: FaultOrigin::External { nets }, guideline }
+    }
+
+    /// True for cell-internal faults.
+    pub fn is_internal(&self) -> bool {
+        matches!(self.origin, FaultOrigin::Internal { .. })
+    }
+}
+
+/// Status of a fault after ATPG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultStatus {
+    /// Not yet processed.
+    Undetected,
+    /// Detected by test `0` of the final test set.
+    Detected,
+    /// Proven undetectable (search space exhausted).
+    Undetectable,
+    /// Search aborted at the backtrack limit; not counted as undetectable.
+    Aborted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_fault_nets() {
+        let f = Fault::external(
+            FaultKind::Bridge { a: NetId(1), b: NetId(2), kind: BridgeKind::WiredAnd },
+            7,
+        );
+        assert_eq!(f.origin, FaultOrigin::External { nets: vec![NetId(1), NetId(2)] });
+        assert!(!f.is_internal());
+        assert_eq!(f.guideline, 7);
+    }
+
+    #[test]
+    fn internal_fault_is_internal() {
+        let f = Fault::internal(GateId(3), vec![CellCondition { pattern: 0b11, output: 0 }], 2);
+        assert!(f.is_internal());
+    }
+
+    #[test]
+    #[should_panic(expected = "internal")]
+    fn cell_aware_external_panics() {
+        let _ = Fault::external(FaultKind::CellAware { gate: GateId(0), conditions: vec![] }, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Automatic test pattern generation for the `rsyn` DFM-resynthesis system.
+//!
+//! The paper's methodology hinges on *proving* faults undetectable: the set
+//! `U` of provably-undetectable DFM-related faults is what clusters, and the
+//! resynthesis procedure is evaluated by how much `|U|` and the largest
+//! cluster shrink. This crate implements the required engine from scratch:
+//!
+//! * [`value`] — the 5-valued D-algebra as (good, faulty) 3-valued pairs;
+//! * [`fault`] — stuck-at, transition, wired-AND/OR bridging, and
+//!   cell-aware (UDFM) fault models with DFM provenance;
+//! * [`sim`] — 64-lane parallel good/fault simulation with cone-limited
+//!   event propagation;
+//! * [`podem`] — a complete PODEM implementation (objective, backtrace,
+//!   forward implication, X-path check) for arbitrary library cells; search
+//!   exhaustion is an undetectability *proof*, aborts are reported
+//!   separately and never counted as undetectable;
+//! * [`engine`] — the full flow: dedupe → random phase with fault dropping
+//!   → deterministic phase → reverse-order test compaction.
+//!
+//! # Example
+//!
+//! ```
+//! use rsyn_netlist::{Library, Netlist};
+//! use rsyn_atpg::{engine::{run_atpg, AtpgOptions}, fault::{Fault, FaultKind}};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = Library::osu018();
+//! let mut nl = Netlist::new("t", lib.clone());
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_named_net("y");
+//! let nand = lib.cell_id("NAND2X1").unwrap();
+//! nl.add_gate("u0", nand, &[a, b], &[y])?;
+//! nl.mark_output(y);
+//! let view = nl.comb_view()?;
+//! let faults = vec![Fault::external(FaultKind::StuckAt { net: y, value: false }, 0)];
+//! let result = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+//! assert_eq!(result.detected_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dictionary;
+pub mod engine;
+pub mod exhaustive;
+pub mod fault;
+pub mod podem;
+pub mod sim;
+pub mod tester;
+pub mod testset;
+pub mod value;
+
+pub use dictionary::FaultDictionary;
+pub use engine::{run_atpg, AtpgOptions, AtpgResult};
+pub use exhaustive::exhaustive_detectable;
+pub use fault::{BridgeKind, CellCondition, Fault, FaultKind, FaultOrigin, FaultStatus};
+pub use podem::{Podem, PodemOutcome};
+pub use sim::FaultSim;
+pub use tester::TesterTime;
+pub use testset::{Pattern, TestSet};
+pub use value::{Tri, Val};

@@ -1,0 +1,102 @@
+//! Tester-time estimation for scan test application.
+//!
+//! The paper's Section I motivates resynthesis over test-set growth with
+//! tester time: "a significant number of additional test patterns …
+//! leads to an unacceptable tester time". In full scan, applying one
+//! pattern costs a scan-in of the whole chain (overlapped with the
+//! previous pattern's scan-out) plus one capture cycle, so
+//!
+//! `cycles ≈ patterns × (chain_length + 1) + chain_length`
+//!
+//! with the final scan-out flushing the last response.
+
+use rsyn_netlist::Netlist;
+
+use crate::testset::TestSet;
+
+/// Scan-application cost model for one design + test set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TesterTime {
+    /// Patterns applied.
+    pub patterns: usize,
+    /// Scan chain length (flop count; combinational-only designs get a
+    /// nominal chain of the primary-input count).
+    pub chain_length: usize,
+    /// Total tester cycles.
+    pub cycles: u64,
+}
+
+impl TesterTime {
+    /// Estimates tester time for applying `tests` to `nl` through a single
+    /// scan chain.
+    pub fn estimate(nl: &Netlist, tests: &TestSet) -> Self {
+        let flops = nl.flops().len();
+        let chain_length = if flops > 0 { flops } else { nl.primary_inputs().len() };
+        let patterns = tests.len();
+        let cycles = patterns as u64 * (chain_length as u64 + 1) + chain_length as u64;
+        Self { patterns, chain_length, cycles }
+    }
+
+    /// Seconds at the given scan clock frequency.
+    pub fn seconds_at(&self, scan_hz: f64) -> f64 {
+        self.cycles as f64 / scan_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testset::Pattern;
+    use rsyn_netlist::Library;
+
+    fn sequential_netlist(flops: usize) -> Netlist {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("s", lib.clone());
+        let clk = nl.add_input("clk");
+        let d0 = nl.add_input("d");
+        let dff = lib.cell_id("DFFPOSX1").unwrap();
+        let mut prev = d0;
+        for i in 0..flops {
+            let q = nl.add_named_net(format!("q{i}"));
+            nl.add_gate(format!("ff{i}"), dff, &[prev, clk], &[q]).unwrap();
+            prev = q;
+        }
+        nl.mark_output(prev);
+        nl
+    }
+
+    #[test]
+    fn cycles_scale_with_patterns_and_chain() {
+        let nl = sequential_netlist(10);
+        let mut tests = TestSet::new();
+        for _ in 0..5 {
+            tests.push(Pattern::zeros(12));
+        }
+        let t = TesterTime::estimate(&nl, &tests);
+        assert_eq!(t.chain_length, 10);
+        assert_eq!(t.patterns, 5);
+        assert_eq!(t.cycles, 5 * 11 + 10);
+        // Doubling the pattern count roughly doubles the time.
+        let mut tests2 = tests.clone();
+        tests2.extend((0..5).map(|_| Pattern::zeros(12)));
+        let t2 = TesterTime::estimate(&nl, &tests2);
+        assert!(t2.cycles > 2 * t.cycles - 20);
+        assert!(t.seconds_at(10.0e6) > 0.0);
+    }
+
+    #[test]
+    fn combinational_designs_use_pi_count() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("c", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_named_net("y");
+        let nand = lib.cell_id("NAND2X1").unwrap();
+        nl.add_gate("g", nand, &[a, b], &[y]).unwrap();
+        nl.mark_output(y);
+        let mut tests = TestSet::new();
+        tests.push(Pattern::zeros(2));
+        let t = TesterTime::estimate(&nl, &tests);
+        assert_eq!(t.chain_length, 2);
+    }
+}

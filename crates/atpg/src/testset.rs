@@ -1,0 +1,181 @@
+//! Test patterns and test sets (bit-packed over the view's primary inputs).
+
+/// One test pattern: a boolean assignment to every view PI, bit-packed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Pattern {
+    /// Creates an all-zero pattern for `len` inputs.
+    pub fn zeros(len: usize) -> Self {
+        Self { bits: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a pattern from booleans.
+    pub fn from_bools(values: &[bool]) -> Self {
+        let mut p = Self::zeros(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            p.set(i, v);
+        }
+        p
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the pattern covers zero inputs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len);
+        if v {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Expands to one boolean per input.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+/// An ordered collection of test patterns.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TestSet {
+    patterns: Vec<Pattern>,
+}
+
+impl TestSet {
+    /// Creates an empty test set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a pattern.
+    pub fn push(&mut self, p: Pattern) {
+        self.patterns.push(p);
+    }
+
+    /// Number of tests.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if there are no tests.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Keeps only the patterns at the given (sorted, unique) indices.
+    pub fn retain_indices(&mut self, keep: &[usize]) {
+        let mut out = Vec::with_capacity(keep.len());
+        for &i in keep {
+            out.push(self.patterns[i].clone());
+        }
+        self.patterns = out;
+    }
+
+    /// Packs up to 64 patterns starting at `offset` into per-PI lane words
+    /// (`result[pi]` bit `k` = pattern `offset + k` value of `pi`). Missing
+    /// lanes repeat the last pattern.
+    pub fn lanes(&self, offset: usize, pi_count: usize) -> Vec<u64> {
+        let mut out = vec![0u64; pi_count];
+        if self.patterns.is_empty() {
+            return out;
+        }
+        for k in 0..64 {
+            let idx = (offset + k).min(self.patterns.len() - 1);
+            let p = &self.patterns[idx];
+            for (i, word) in out.iter_mut().enumerate() {
+                if p.get(i) {
+                    *word |= 1 << k;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Pattern> for TestSet {
+    fn from_iter<I: IntoIterator<Item = Pattern>>(iter: I) -> Self {
+        Self { patterns: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Pattern> for TestSet {
+    fn extend<I: IntoIterator<Item = Pattern>>(&mut self, iter: I) {
+        self.patterns.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_round_trip() {
+        let vals = vec![true, false, true, true, false];
+        let p = Pattern::from_bools(&vals);
+        assert_eq!(p.to_bools(), vals);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn pattern_wide() {
+        let mut p = Pattern::zeros(130);
+        p.set(0, true);
+        p.set(64, true);
+        p.set(129, true);
+        assert!(p.get(0) && p.get(64) && p.get(129));
+        assert!(!p.get(63) && !p.get(128));
+    }
+
+    #[test]
+    fn lanes_pack_patterns() {
+        let mut ts = TestSet::new();
+        ts.push(Pattern::from_bools(&[true, false]));
+        ts.push(Pattern::from_bools(&[false, true]));
+        let lanes = ts.lanes(0, 2);
+        assert_eq!(lanes[0] & 0b11, 0b01, "pi0: pattern0=1 pattern1=0");
+        assert_eq!(lanes[1] & 0b11, 0b10, "pi1: pattern0=0 pattern1=1");
+    }
+
+    #[test]
+    fn retain_indices_keeps_order() {
+        let mut ts: TestSet = (0..5)
+            .map(|i| Pattern::from_bools(&[(i % 2) == 0]))
+            .collect();
+        ts.retain_indices(&[0, 3]);
+        assert_eq!(ts.len(), 2);
+        assert!(ts.patterns()[0].get(0));
+        assert!(!ts.patterns()[1].get(0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Three-valued logic and the composite (good, faulty) 5-valued algebra.
+//!
+//! PODEM reasons about two machines at once: the fault-free ("good") and the
+//! faulty circuit. Each net carries a [`Val`] — a pair of [`Tri`] values.
+//! The classic D-algebra symbols map as: `0 = (F,F)`, `1 = (T,T)`,
+//! `D = (T,F)`, `D̄ = (F,T)`, `X` = any pair with an unknown component.
+
+use rsyn_netlist::TruthTable;
+
+/// A three-valued logic value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tri {
+    /// Logic 0.
+    F,
+    /// Logic 1.
+    T,
+    /// Unknown.
+    U,
+}
+
+impl Tri {
+    /// Converts a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Tri::T
+        } else {
+            Tri::F
+        }
+    }
+
+    /// True if the value is known.
+    pub fn is_known(self) -> bool {
+        self != Tri::U
+    }
+
+    /// The known boolean value, if any.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Tri::F => Some(false),
+            Tri::T => Some(true),
+            Tri::U => None,
+        }
+    }
+
+    /// Three-valued negation.
+    pub fn not(self) -> Self {
+        match self {
+            Tri::F => Tri::T,
+            Tri::T => Tri::F,
+            Tri::U => Tri::U,
+        }
+    }
+}
+
+/// Evaluates a truth table in three-valued logic by enumerating the unknown
+/// inputs (at most six, so at most 64 completions).
+pub fn eval3(function: TruthTable, inputs: &[Tri]) -> Tri {
+    debug_assert_eq!(inputs.len(), function.input_count());
+    let mut base = 0u64;
+    let mut unknowns: Vec<usize> = Vec::new();
+    for (i, v) in inputs.iter().enumerate() {
+        match v {
+            Tri::T => base |= 1 << i,
+            Tri::F => {}
+            Tri::U => unknowns.push(i),
+        }
+    }
+    let mut any_true = false;
+    let mut any_false = false;
+    for comp in 0..(1u64 << unknowns.len()) {
+        let mut m = base;
+        for (k, &i) in unknowns.iter().enumerate() {
+            if (comp >> k) & 1 == 1 {
+                m |= 1 << i;
+            }
+        }
+        if function.eval(m) {
+            any_true = true;
+        } else {
+            any_false = true;
+        }
+        if any_true && any_false {
+            return Tri::U;
+        }
+    }
+    if any_true {
+        Tri::T
+    } else {
+        Tri::F
+    }
+}
+
+/// A composite good/faulty value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Val {
+    /// Fault-free machine value.
+    pub good: Tri,
+    /// Faulty machine value.
+    pub faulty: Tri,
+}
+
+impl Val {
+    /// The all-unknown value.
+    pub const X: Val = Val { good: Tri::U, faulty: Tri::U };
+
+    /// Both machines at a known boolean value.
+    pub fn both(b: bool) -> Self {
+        let t = Tri::from_bool(b);
+        Val { good: t, faulty: t }
+    }
+
+    /// The classic `D` value (good 1, faulty 0).
+    pub const D: Val = Val { good: Tri::T, faulty: Tri::F };
+    /// The classic `D̄` value (good 0, faulty 1).
+    pub const DBAR: Val = Val { good: Tri::F, faulty: Tri::T };
+
+    /// True if both machine values are known and differ (a fault effect).
+    pub fn is_effect(self) -> bool {
+        matches!(
+            (self.good, self.faulty),
+            (Tri::T, Tri::F) | (Tri::F, Tri::T)
+        )
+    }
+
+    /// True if either component is unknown.
+    pub fn has_unknown(self) -> bool {
+        self.good == Tri::U || self.faulty == Tri::U
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tri_not() {
+        assert_eq!(Tri::F.not(), Tri::T);
+        assert_eq!(Tri::U.not(), Tri::U);
+    }
+
+    #[test]
+    fn eval3_known_inputs() {
+        let and2 = TruthTable::new(2, 0b1000);
+        assert_eq!(eval3(and2, &[Tri::T, Tri::T]), Tri::T);
+        assert_eq!(eval3(and2, &[Tri::T, Tri::F]), Tri::F);
+    }
+
+    #[test]
+    fn eval3_controlling_unknown() {
+        let and2 = TruthTable::new(2, 0b1000);
+        // 0 & X = 0 (controlling value decides).
+        assert_eq!(eval3(and2, &[Tri::F, Tri::U]), Tri::F);
+        // 1 & X = X.
+        assert_eq!(eval3(and2, &[Tri::T, Tri::U]), Tri::U);
+        let or2 = TruthTable::new(2, 0b1110);
+        assert_eq!(eval3(or2, &[Tri::T, Tri::U]), Tri::T);
+        assert_eq!(eval3(or2, &[Tri::F, Tri::U]), Tri::U);
+    }
+
+    #[test]
+    fn eval3_xor_with_unknown_is_unknown() {
+        let xor = TruthTable::new(2, 0b0110);
+        assert_eq!(eval3(xor, &[Tri::T, Tri::U]), Tri::U);
+        assert_eq!(eval3(xor, &[Tri::U, Tri::U]), Tri::U);
+        assert_eq!(eval3(xor, &[Tri::T, Tri::F]), Tri::T);
+    }
+
+    #[test]
+    fn val_effects() {
+        assert!(Val::D.is_effect());
+        assert!(Val::DBAR.is_effect());
+        assert!(!Val::both(true).is_effect());
+        assert!(!Val::X.is_effect());
+        assert!(Val::X.has_unknown());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the ATPG substrate: three-valued evaluation
+//! soundness, fault-simulation/PODEM agreement, and test-set integrity.
+
+use proptest::prelude::*;
+use rsyn_atpg::engine::{run_atpg, AtpgOptions};
+use rsyn_atpg::fault::{Fault, FaultKind, FaultStatus};
+use rsyn_atpg::podem::{Podem, PodemOutcome, Target};
+use rsyn_atpg::sim::FaultSim;
+use rsyn_atpg::value::{eval3, Tri};
+use rsyn_netlist::{Library, NetId, Netlist, TruthTable};
+
+fn random_netlist(seed: u64, gates: usize, pis: usize) -> Netlist {
+    let lib = Library::osu018();
+    let mut nl = Netlist::new("rnd", lib.clone());
+    let mut nets: Vec<NetId> = (0..pis).map(|i| nl.add_input(format!("i{i}"))).collect();
+    let names = ["NAND2X1", "NOR2X1", "XOR2X1", "AOI21X1", "OAI22X1", "AND2X2"];
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for k in 0..gates {
+        let cell = lib.cell_id(names[(next() % names.len() as u64) as usize]).unwrap();
+        let c = lib.cell(cell);
+        let ins: Vec<NetId> =
+            (0..c.input_count()).map(|_| nets[(next() % nets.len() as u64) as usize]).collect();
+        let out = nl.add_net();
+        nl.add_gate(format!("g{k}"), cell, &ins, &[out]).unwrap();
+        nets.push(out);
+    }
+    for &n in nets.iter().rev().take(2) {
+        nl.mark_output(n);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `eval3` is exactly the quotient of two-valued evaluation: it returns
+    /// a known value iff every completion of the unknowns agrees.
+    #[test]
+    fn eval3_is_sound_and_complete(bits in 0u64..=0xFFFF, mask in 0u8..16, vals in 0u8..16) {
+        let tt = TruthTable::new(4, bits);
+        let ins: Vec<Tri> = (0..4)
+            .map(|i| {
+                if (mask >> i) & 1 == 1 {
+                    Tri::U
+                } else if (vals >> i) & 1 == 1 {
+                    Tri::T
+                } else {
+                    Tri::F
+                }
+            })
+            .collect();
+        let got = eval3(tt, &ins);
+        // Enumerate completions.
+        let unknown: Vec<usize> = (0..4).filter(|&i| ins[i] == Tri::U).collect();
+        let mut any_true = false;
+        let mut any_false = false;
+        for comp in 0..(1u64 << unknown.len()) {
+            let mut m = 0u64;
+            for (i, t) in ins.iter().enumerate() {
+                if *t == Tri::T {
+                    m |= 1 << i;
+                }
+            }
+            for (k, &i) in unknown.iter().enumerate() {
+                if (comp >> k) & 1 == 1 {
+                    m |= 1 << i;
+                }
+            }
+            if tt.eval(m) {
+                any_true = true;
+            } else {
+                any_false = true;
+            }
+        }
+        let want = match (any_true, any_false) {
+            (true, false) => Tri::T,
+            (false, true) => Tri::F,
+            _ => Tri::U,
+        };
+        prop_assert_eq!(got, want);
+    }
+
+    /// Every PODEM-generated stuck-at test is confirmed by the independent
+    /// fault simulator.
+    #[test]
+    fn podem_tests_confirmed_by_fault_sim(seed in 0u64..80) {
+        let nl = random_netlist(seed, 20, 6);
+        let view = nl.comb_view().unwrap();
+        let mut podem = Podem::new(&nl, &view, 500);
+        let mut sim = FaultSim::new(&nl, &view);
+        let mut checked = 0;
+        for (id, net) in nl.nets() {
+            if net.driver.is_none() {
+                continue;
+            }
+            for value in [false, true] {
+                if let PodemOutcome::Detected(p) = podem.run(&Target::StuckAt { net: id, value }) {
+                    let lanes: Vec<u64> =
+                        p.to_bools().iter().map(|&b| u64::from(b)).collect();
+                    sim.set_patterns(&lanes);
+                    let f = Fault::external(FaultKind::StuckAt { net: id, value }, 0);
+                    prop_assert_eq!(sim.detect_lanes(&f) & 1, 1, "net {} sa{}", id, u8::from(value));
+                    checked += 1;
+                }
+            }
+        }
+        prop_assert!(checked >= 4, "only {} detections", checked);
+    }
+
+    /// The engine's final test set covers every fault it reports detected,
+    /// regardless of fault mix.
+    #[test]
+    fn engine_cover_invariant(seed in 0u64..40) {
+        let nl = random_netlist(seed, 16, 6);
+        let view = nl.comb_view().unwrap();
+        let mut faults = Vec::new();
+        let nets: Vec<NetId> = nl.nets().filter(|(_, n)| n.driver.is_some()).map(|(id, _)| id).collect();
+        for (k, &n) in nets.iter().enumerate() {
+            match k % 3 {
+                0 => faults.push(Fault::external(FaultKind::StuckAt { net: n, value: k % 2 == 0 }, 0)),
+                1 => faults.push(Fault::external(FaultKind::Transition { net: n, rising: k % 2 == 0 }, 0)),
+                _ => {
+                    let other = nets[(k * 7 + 1) % nets.len()];
+                    if other != n {
+                        faults.push(Fault::external(
+                            FaultKind::Bridge {
+                                a: n.min(other),
+                                b: n.max(other),
+                                kind: rsyn_atpg::fault::BridgeKind::WiredAnd,
+                            },
+                            0,
+                        ));
+                    }
+                }
+            }
+        }
+        // Feedback bridges may slip in; the engine must still terminate and
+        // classify. (They are normally filtered by the DFM translator.)
+        let result = run_atpg(&nl, &view, &faults, &AtpgOptions { compact: true, ..Default::default() });
+        prop_assert!(result.statuses.iter().all(|s| *s != FaultStatus::Undetected));
+        let covered = rsyn_atpg::engine::covers(&nl, &view, &faults, &result.tests);
+        for (fi, s) in result.statuses.iter().enumerate() {
+            if *s == FaultStatus::Detected {
+                prop_assert!(covered[fi], "detected fault {} uncovered", fi);
+            }
+        }
+    }
+}

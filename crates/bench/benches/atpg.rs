@@ -1,0 +1,24 @@
+//! Criterion bench: full ATPG (random phase + PODEM + compaction) on the
+//! benchmark circuits' complete DFM fault sets — the kernel behind every
+//! Table I / Table II cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsyn_atpg::engine::{run_atpg, AtpgOptions};
+use rsyn_bench::{analyzed, context};
+
+fn bench_atpg(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("atpg_full");
+    group.sample_size(10);
+    for name in ["sparc_tlu", "sparc_exu"] {
+        let state = analyzed(name, &ctx);
+        let view = state.nl.comb_view().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &state, |b, state| {
+            b.iter(|| run_atpg(&state.nl, &view, &state.faults, &AtpgOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atpg);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: structural clustering of the undetectable fault set
+//! (Section II's partition into `S_0, S_1, …`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsyn_bench::{analyzed, context};
+use rsyn_cluster::cluster_faults;
+
+fn bench_clustering(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("cluster_undetectable");
+    for name in ["sparc_exu", "aes_core", "des_perf"] {
+        let state = analyzed(name, &ctx);
+        let subset = state.atpg.undetectable_indices();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &state, |b, state| {
+            b.iter(|| cluster_faults(&state.nl, &state.faults, &subset).s_max_size());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: 64-lane parallel fault simulation throughput (the
+//! random-phase workhorse that drops most faults before PODEM runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsyn_atpg::sim::FaultSim;
+use rsyn_bench::{analyzed, context};
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("fault_sim_64lane");
+    for name in ["sparc_tlu", "sparc_exu", "aes_core"] {
+        let state = analyzed(name, &ctx);
+        let view = state.nl.comb_view().unwrap();
+        group.throughput(Throughput::Elements(state.faults.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &state, |b, state| {
+            let mut sim = FaultSim::new(&state.nl, &view);
+            let lanes: Vec<u64> = (0..view.pis.len()).map(|i| 0x9E37_79B9u64 << (i % 8)).collect();
+            sim.set_patterns(&lanes);
+            b.iter(|| {
+                let mut detected = 0u64;
+                for fault in &state.faults {
+                    detected += u64::from(sim.detect_lanes(fault) != 0);
+                }
+                detected
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: technology mapping (`Synthesize()`), full-library and
+//! restricted — the inner loop of every resynthesis candidate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsyn_bench::{analyzed, context};
+use rsyn_logic::map::MapOptions;
+use rsyn_logic::Window;
+use rsyn_netlist::CellClass;
+
+fn bench_mapping(c: &mut Criterion) {
+    let ctx = context();
+    let state = analyzed("sparc_exu", &ctx);
+    let gates: Vec<_> = state.nl.gates().map(|(id, _)| id).collect();
+    let full: Vec<_> = ctx.lib.comb_cells();
+    let order = ctx.catalog.cells_by_internal_faults(&ctx.lib);
+    let restricted: Vec<_> = order[7..]
+        .iter()
+        .copied()
+        .filter(|&c| ctx.lib.cell(c).class == CellClass::Comb)
+        .collect();
+
+    let mut group = c.benchmark_group("technology_mapping");
+    group.sample_size(20);
+    for (label, allowed) in [("full_library", &full), ("without_7_largest", &restricted)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), allowed, |b, allowed| {
+            b.iter(|| {
+                let mut nl = state.nl.clone();
+                let window = Window::extract(&nl, &gates);
+                window
+                    .resynthesize_with(&mut nl, &ctx.mapper, allowed, &MapOptions::area())
+                    .expect("maps")
+                    .len()
+            });
+        });
+    }
+    group.finish();
+
+    // Match-table construction (one-time cost the Mapper amortises).
+    c.bench_function("match_table_build", |b| {
+        b.iter(|| rsyn_logic::MatchTable::build(&ctx.lib));
+    });
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: one full resynthesis run (both phases, q = 5%) on the
+//! smallest benchmark — the paper's end-to-end procedure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsyn_bench::{analyzed, context};
+use rsyn_core::constraints::DesignConstraints;
+use rsyn_core::resynth::{resynthesize, ResynthOptions};
+
+fn bench_resynth(c: &mut Criterion) {
+    let ctx = context();
+    let original = analyzed("sparc_tlu", &ctx);
+    let constraints = DesignConstraints::from_original(&original, 5.0);
+    let mut group = c.benchmark_group("resynthesis_procedure");
+    group.sample_size(10);
+    group.bench_function("sparc_tlu_q5", |b| {
+        b.iter(|| {
+            let out = resynthesize(&original, &ctx, &constraints, &ResynthOptions::default());
+            out.state.undetectable_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resynth);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: placement + routing + DFM scan (`PDesign()` plus the
+//! sign-off scan), gated by the internal pre-check in the real flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsyn_bench::{analyzed, context};
+use rsyn_dfm::scan_layout;
+use rsyn_pdesign::flow::physical_design;
+
+fn bench_pdesign(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("physical_design");
+    group.sample_size(10);
+    for name in ["sparc_tlu", "sparc_exu", "wb_conmax"] {
+        let state = analyzed(name, &ctx);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &state, |b, state| {
+            b.iter(|| physical_design(&state.nl, 0xDA7E).expect("fits"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dfm_scan");
+    group.sample_size(10);
+    for name in ["sparc_exu", "aes_core"] {
+        let state = analyzed(name, &ctx);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &state, |b, state| {
+            b.iter(|| scan_layout(&state.pd.layout, &ctx.guidelines).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdesign);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Deck analysis: which DFM guidelines dominate the fault population and
+//! the undetectable subset, per circuit — the diagnosis-oriented view of
+//! the paper's companion work [8].
+//!
+//! Usage: `cargo run --release -p rsyn-bench --bin guideline_stats [circuit…]`
+
+use rsyn_bench::{analyzed, context};
+use rsyn_dfm::DeckReport;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits: Vec<String> = if args.is_empty() {
+        vec!["sparc_exu".to_string(), "aes_core".to_string()]
+    } else {
+        args
+    };
+    let ctx = context();
+    for name in &circuits {
+        let state = analyzed(name, &ctx);
+        let report = DeckReport::build(&state.faults, &state.atpg.statuses);
+        println!("== {name} ==");
+        println!("{:<10} {:>8} {:>9} {:>13}", "category", "faults", "internal", "undetectable");
+        for (cat, s) in report.per_category(&ctx.guidelines) {
+            println!("{:<10} {:>8} {:>9} {:>13}", cat, s.faults, s.internal, s.undetectable);
+        }
+        println!("worst guidelines by undetectable faults:");
+        for (id, s) in report.worst_guidelines(5) {
+            let gname = ctx.guidelines.by_id(id).map(|g| g.name.clone()).unwrap_or_default();
+            println!("  [{id:>2}] {gname:<50} U={} / F={}", s.undetectable, s.faults);
+        }
+    }
+}

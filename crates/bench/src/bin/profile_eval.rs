@@ -1,0 +1,38 @@
+//! Developer utility: breaks one full design-analysis evaluation into its
+//! stages (placement, DFM scan, fault extraction, ATPG with and without
+//! compaction) and prints wall-clock timings — useful when tuning the
+//! resynthesis loop's evaluation cost.
+//!
+//! Usage: `cargo run --release -p rsyn-bench --bin profile_eval [circuit]`
+
+use rsyn_bench::{analyzed, context};
+use rsyn_atpg::engine::{run_atpg, AtpgOptions};
+use rsyn_dfm::{extract_faults, scan_layout};
+use rsyn_pdesign::flow::physical_design_in;
+use std::time::Instant;
+
+fn main() {
+    let circuit = std::env::args().nth(1).unwrap_or_else(|| "tv80".to_string());
+    let ctx = context();
+    let t0 = Instant::now();
+    let state = analyzed(&circuit, &ctx);
+    println!("analyze total: {:.2}s (F={} U={} tests={})", t0.elapsed().as_secs_f64(), state.fault_count(), state.undetectable_count(), state.atpg.tests.len());
+    // Break down one re-analysis.
+    let fp = state.pd.placement.floorplan();
+    let t = Instant::now();
+    let pd = physical_design_in(&state.nl, fp, Some(&state.pd.placement), ctx.seed).unwrap();
+    println!("pdesign: {:.2}s", t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    let v = scan_layout(&pd.layout, &ctx.guidelines);
+    println!("scan: {:.2}s ({} violations)", t.elapsed().as_secs_f64(), v.len());
+    let t = Instant::now();
+    let faults = extract_faults(&state.nl, &pd.layout, &ctx.guidelines, &ctx.catalog);
+    println!("extract: {:.2}s ({} faults)", t.elapsed().as_secs_f64(), faults.len());
+    let view = state.nl.comb_view().unwrap();
+    let t = Instant::now();
+    let r1 = run_atpg(&state.nl, &view, &faults, &AtpgOptions::default());
+    println!("atpg(compact): {:.2}s U={} T={}", t.elapsed().as_secs_f64(), r1.undetectable_count(), r1.tests.len());
+    let t = Instant::now();
+    let r2 = run_atpg(&state.nl, &view, &faults, &AtpgOptions { compact: false, ..Default::default() });
+    println!("atpg(nocompact): {:.2}s U={} T={}", t.elapsed().as_secs_f64(), r2.undetectable_count(), r2.tests.len());
+}

@@ -1,0 +1,26 @@
+//! E1 — regenerates the paper's **Table I** (clustered undetectable
+//! faults) for the four circuits the paper reports: aes_core, des_perf,
+//! sparc_exu, sparc_fpu.
+//!
+//! Usage: `cargo run --release -p rsyn-bench --bin table1 [circuit…]`
+
+use rsyn_bench::{analyzed, context};
+use rsyn_circuits::TABLE1_BENCHMARKS;
+use rsyn_core::report::Table1Row;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits: Vec<String> = if args.is_empty() {
+        TABLE1_BENCHMARKS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    let ctx = context();
+    println!("TABLE I. CLUSTERED UNDETECTABLE FAULTS");
+    println!("{}", Table1Row::header());
+    for name in &circuits {
+        let state = analyzed(name, &ctx);
+        let row = Table1Row::of(name, &state);
+        println!("{row}");
+    }
+}

@@ -1,0 +1,42 @@
+//! E2 — regenerates the paper's **Table II** (the main result): for every
+//! benchmark, the original design row and the resynthesized row obtained
+//! with the largest `q` in `0..=max_q` that improves coverage.
+//!
+//! Usage: `cargo run --release -p rsyn-bench --bin table2 [--max-q N] [circuit…]`
+
+use rsyn_bench::{analyzed, context, parse_args};
+use rsyn_core::report::{average_rows, Table2Row};
+use rsyn_core::resynth::{run_q_sweep_stepped, ResynthOptions};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut q_step = 1u32;
+    if let Some(i) = args.iter().position(|a| a == "--q-step") {
+        if i + 1 < args.len() {
+            q_step = args[i + 1].parse().unwrap_or(1);
+            args.drain(i..=i + 1);
+        }
+    }
+    let (max_q, circuits) = parse_args(&args);
+    let ctx = context();
+    let options = ResynthOptions::default();
+
+    println!("TABLE II. EXPERIMENTAL RESULTS  (q swept 0..={max_q} step {q_step}, p1 = {}%)", options.p1_percent);
+    println!("{}", Table2Row::header());
+    let mut orig_rows = Vec::new();
+    let mut resyn_rows = Vec::new();
+    for name in &circuits {
+        let original = analyzed(name, &ctx);
+        let orig_row = Table2Row::original(name, &original);
+        println!("{orig_row}");
+        let sweep = run_q_sweep_stepped(&original, &ctx, &options, max_q, q_step);
+        let resyn_row = Table2Row::resynthesized(name, &original, &sweep);
+        println!("{resyn_row}");
+        orig_rows.push(orig_row);
+        resyn_rows.push(resyn_row);
+    }
+    if orig_rows.len() > 1 {
+        println!("{}", average_rows("orig", &orig_rows));
+        println!("{}", average_rows("resyn", &resyn_rows));
+    }
+}

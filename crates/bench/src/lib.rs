@@ -1,0 +1,76 @@
+//! Benchmark harness for the `rsyn` reproduction: shared helpers for the
+//! table/figure regenerators in `src/bin` and the criterion benches in
+//! `benches/`.
+//!
+//! Every binary regenerates one experiment from DESIGN.md's experiment
+//! index (E1–E7); run them with `cargo run --release -p rsyn-bench --bin
+//! <name>`.
+
+use std::sync::Arc;
+
+use rsyn_circuits::build_benchmark_with;
+use rsyn_core::flow::{DesignState, FlowContext};
+use rsyn_netlist::Library;
+
+/// Builds the shared flow context over the built-in library.
+pub fn context() -> FlowContext {
+    FlowContext::new(Library::osu018())
+}
+
+/// Builds and fully analyses one benchmark.
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names or analysis failure (harness usage).
+pub fn analyzed(name: &str, ctx: &FlowContext) -> DesignState {
+    let nl = build_benchmark_with(name, &ctx.lib, &ctx.mapper)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    DesignState::analyze(nl, ctx, None).expect("analysis succeeds")
+}
+
+/// The library as an `Arc` (for binaries that need it directly).
+pub fn library() -> Arc<Library> {
+    Library::osu018()
+}
+
+/// Parses `--max-q N` style flags plus positional circuit names from CLI
+/// arguments; returns `(max_q, circuits)`. Defaults: `max_q = 5`, all
+/// twelve benchmark circuits.
+pub fn parse_args(args: &[String]) -> (u32, Vec<String>) {
+    let mut max_q = 5u32;
+    let mut circuits = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-q" && i + 1 < args.len() {
+            max_q = args[i + 1].parse().unwrap_or(5);
+            i += 2;
+        } else {
+            circuits.push(args[i].clone());
+            i += 1;
+        }
+    }
+    if circuits.is_empty() {
+        circuits = rsyn_circuits::BENCHMARKS.iter().map(|s| s.to_string()).collect();
+    }
+    (max_q, circuits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_defaults() {
+        let (q, c) = parse_args(&[]);
+        assert_eq!(q, 5);
+        assert_eq!(c.len(), 12);
+    }
+
+    #[test]
+    fn parse_args_custom() {
+        let args = vec!["--max-q".to_string(), "2".to_string(), "tv80".to_string()];
+        let (q, c) = parse_args(&args);
+        assert_eq!(q, 2);
+        assert_eq!(c, vec!["tv80"]);
+    }
+}

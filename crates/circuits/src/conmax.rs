@@ -1,0 +1,274 @@
+//! `wb_conmax`-style generator: a Wishbone interconnect matrix — four
+//! masters × eight slaves with address decode, per-slave priority
+//! arbitration, and full data crossbar muxing.
+
+use std::sync::Arc;
+
+use rsyn_logic::aig::Lit;
+use rsyn_logic::map::MapOptions;
+use rsyn_logic::Mapper;
+use rsyn_netlist::{Library, NetId, Netlist};
+
+use crate::words::{LogicBlock, Word};
+
+const MASTERS: usize = 4;
+const SLAVES: usize = 8;
+const ADDR_W: usize = 8;
+const DATA_W: usize = 8;
+
+fn input_word(nl: &mut Netlist, name: &str, width: usize) -> Vec<NetId> {
+    (0..width).map(|i| nl.add_input(format!("{name}{i}"))).collect()
+}
+
+fn output_word(nl: &mut Netlist, name: &str, width: usize) -> Vec<NetId> {
+    (0..width)
+        .map(|i| {
+            let n = nl.add_named_net(format!("{name}{i}"));
+            nl.mark_output(n);
+            n
+        })
+        .collect()
+}
+
+struct Master {
+    addr: Word,
+    wdata: Word,
+    cyc: Lit,
+    we: Lit,
+}
+
+/// Builds the interconnect matrix.
+pub fn wb_conmax(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("wb_conmax", lib.clone());
+
+    let mut m_in = Vec::new();
+    for m in 0..MASTERS {
+        let addr = input_word(&mut nl, &format!("m{m}_adr"), ADDR_W);
+        let wdata = input_word(&mut nl, &format!("m{m}_dat"), DATA_W);
+        let cyc = input_word(&mut nl, &format!("m{m}_cyc"), 1);
+        let we = input_word(&mut nl, &format!("m{m}_we"), 1);
+        m_in.push((addr, wdata, cyc, we));
+    }
+    let mut s_rdata_nets = Vec::new();
+    let mut s_ack_nets = Vec::new();
+    for s in 0..SLAVES {
+        s_rdata_nets.push(input_word(&mut nl, &format!("s{s}_rdt"), DATA_W));
+        s_ack_nets.push(input_word(&mut nl, &format!("s{s}_ack"), 1));
+    }
+    let prio_nets = input_word(&mut nl, "prio", 2 * MASTERS);
+
+    let mut s_addr_out = Vec::new();
+    let mut s_wdata_out = Vec::new();
+    let mut s_cyc_out = Vec::new();
+    let mut s_we_out = Vec::new();
+    for s in 0..SLAVES {
+        s_addr_out.push(output_word(&mut nl, &format!("s{s}_adr"), ADDR_W));
+        s_wdata_out.push(output_word(&mut nl, &format!("s{s}_dat"), DATA_W));
+        s_cyc_out.push(output_word(&mut nl, &format!("s{s}_cyc"), 1));
+        s_we_out.push(output_word(&mut nl, &format!("s{s}_we"), 1));
+    }
+    let mut m_rdata_out = Vec::new();
+    let mut m_ack_out = Vec::new();
+    for m in 0..MASTERS {
+        m_rdata_out.push(output_word(&mut nl, &format!("m{m}_rdt"), DATA_W));
+        m_ack_out.push(output_word(&mut nl, &format!("m{m}_ack"), 1));
+    }
+
+    let mut blk = LogicBlock::new();
+    let masters: Vec<Master> = m_in
+        .iter()
+        .map(|(addr, wdata, cyc, we)| Master {
+            addr: blk.feed(addr),
+            wdata: blk.feed(wdata),
+            cyc: blk.feed_bit(cyc[0]),
+            we: blk.feed_bit(we[0]),
+        })
+        .collect();
+    let s_rdata: Vec<Word> = s_rdata_nets.iter().map(|w| blk.feed(w)).collect();
+    let s_ack: Vec<Lit> = s_ack_nets.iter().map(|w| blk.feed_bit(w[0])).collect();
+    let prio = blk.feed(&prio_nets);
+
+    // Per-master slave select: addr[7:5] decodes the slave.
+    let mut sel: Vec<Vec<Lit>> = Vec::new(); // sel[m][s]
+    for master in &masters {
+        let hi = vec![master.addr[5], master.addr[6], master.addr[7]];
+        let dec = blk.decoder(&hi);
+        sel.push(dec.iter().map(|&d| blk.and(d, master.cyc)).collect());
+    }
+
+    // Per-slave arbitration: rotate master requests by the master priority
+    // field, then fixed-priority grant (lowest index wins).
+    let mut grant: Vec<Vec<Lit>> = Vec::new(); // grant[s][m]
+    for s in 0..SLAVES {
+        let reqs: Vec<Lit> = (0..MASTERS).map(|m| sel[m][s]).collect();
+        // Effective request qualified by its 2-bit priority: a master with
+        // priority p only loses to masters with higher priority bits set.
+        let mut g = Vec::with_capacity(MASTERS);
+        for m in 0..MASTERS {
+            let mut higher = Lit::FALSE;
+            for other in 0..MASTERS {
+                if other == m {
+                    continue;
+                }
+                // `other` beats `m` if it requests and (its priority >
+                // m's priority, or equal priority and lower index).
+                let po = vec![prio[2 * other], prio[2 * other + 1]];
+                let pm = vec![prio[2 * m], prio[2 * m + 1]];
+                let gt = blk.lt_w(&pm, &po);
+                let eq = blk.eq_w(&pm, &po);
+                let tie = if other < m { eq } else { Lit::FALSE };
+                let beats = blk.or(gt, tie);
+                let loses = blk.and(reqs[other], beats);
+                higher = blk.or(higher, loses);
+            }
+            g.push(blk.and(reqs[m], !higher));
+        }
+        grant.push(g);
+    }
+
+    // Slave-side muxing.
+    for s in 0..SLAVES {
+        let mut addr = blk.const_word(0, ADDR_W);
+        let mut wdata = blk.const_word(0, DATA_W);
+        let mut cyc = Lit::FALSE;
+        let mut we = Lit::FALSE;
+        for m in 0..MASTERS {
+            addr = blk.mux_w(grant[s][m], &masters[m].addr, &addr);
+            wdata = blk.mux_w(grant[s][m], &masters[m].wdata, &wdata);
+            cyc = blk.or(cyc, grant[s][m]);
+            let w = blk.and(grant[s][m], masters[m].we);
+            we = blk.or(we, w);
+        }
+        blk.drive_word(&s_addr_out[s], &addr);
+        blk.drive_word(&s_wdata_out[s], &wdata);
+        blk.drive(s_cyc_out[s][0], cyc);
+        blk.drive(s_we_out[s][0], we);
+    }
+
+    // Master-side response muxing: a master hears the slave it selected,
+    // gated by its grant.
+    for m in 0..MASTERS {
+        let mut rdata = blk.const_word(0, DATA_W);
+        let mut ack = Lit::FALSE;
+        for s in 0..SLAVES {
+            let granted = grant[s][m];
+            rdata = blk.mux_w(granted, &s_rdata[s], &rdata);
+            let a = blk.and(granted, s_ack[s]);
+            ack = blk.or(ack, a);
+        }
+        blk.drive_word(&m_rdata_out[m], &rdata);
+        blk.drive(m_ack_out[m][0], ack);
+    }
+
+    blk.emit(&mut nl, mapper, &lib.comb_cells(), &MapOptions::blend(0.2), "cm")
+        .expect("full library maps");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsyn_netlist::sim::simulate_one;
+
+    struct Pins {
+        values: Vec<bool>,
+        names: Vec<String>,
+    }
+
+    impl Pins {
+        fn of(nl: &Netlist) -> Self {
+            let view = nl.comb_view().unwrap();
+            let names = view.pis.iter().map(|&n| nl.net(n).name.clone()).collect();
+            Self { values: vec![false; view.pis.len()], names }
+        }
+        fn set(&mut self, name: &str, value: u64, width: usize) {
+            for i in 0..width {
+                let pin = format!("{name}{i}");
+                let idx = self.names.iter().position(|n| *n == pin).unwrap_or_else(|| panic!("pin {pin}"));
+                self.values[idx] = (value >> i) & 1 == 1;
+            }
+        }
+    }
+
+    fn out_word(nl: &Netlist, out: &[bool], name: &str, width: usize) -> u64 {
+        let view = nl.comb_view().unwrap();
+        let mut v = 0u64;
+        for i in 0..width {
+            let pin = format!("{name}{i}");
+            let idx = view
+                .pos
+                .iter()
+                .position(|&n| nl.net(n).name == pin)
+                .unwrap_or_else(|| panic!("output {pin}"));
+            if out[idx] {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn single_master_reaches_its_slave() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = wb_conmax(&lib, &mapper);
+        nl.validate().unwrap();
+        let view = nl.comb_view().unwrap();
+        let mut pins = Pins::of(&nl);
+        // Master 1 addresses slave 3 (addr[7:5] = 3) and writes 0xAB.
+        pins.set("m1_adr", 0b0110_0101, 8);
+        pins.set("m1_dat", 0xAB, 8);
+        pins.set("m1_cyc", 1, 1);
+        pins.set("m1_we", 1, 1);
+        pins.set("s3_ack", 1, 1);
+        pins.set("s3_rdt", 0x5C, 8);
+        let out = simulate_one(&nl, &view, &pins.values);
+        assert_eq!(out_word(&nl, &out, "s3_adr", 8), 0b0110_0101);
+        assert_eq!(out_word(&nl, &out, "s3_dat", 8), 0xAB);
+        assert_eq!(out_word(&nl, &out, "s3_cyc", 1), 1);
+        assert_eq!(out_word(&nl, &out, "s3_we", 1), 1);
+        assert_eq!(out_word(&nl, &out, "m1_rdt", 8), 0x5C);
+        assert_eq!(out_word(&nl, &out, "m1_ack", 1), 1);
+        // Other slaves idle.
+        assert_eq!(out_word(&nl, &out, "s0_cyc", 1), 0);
+        assert_eq!(out_word(&nl, &out, "m0_ack", 1), 0);
+    }
+
+    #[test]
+    fn priority_arbitration_resolves_conflicts() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = wb_conmax(&lib, &mapper);
+        let view = nl.comb_view().unwrap();
+        let mut pins = Pins::of(&nl);
+        // Masters 0 and 2 both address slave 0; master 2 has priority 3,
+        // master 0 priority 0 -> master 2 wins.
+        pins.set("m0_adr", 0x01, 8);
+        pins.set("m0_cyc", 1, 1);
+        pins.set("m0_dat", 0x11, 8);
+        pins.set("m2_adr", 0x02, 8);
+        pins.set("m2_cyc", 1, 1);
+        pins.set("m2_dat", 0x22, 8);
+        pins.set("prio", 0b00_11_00_00, 8); // prio[5:4] = master 2 = 3
+        let out = simulate_one(&nl, &view, &pins.values);
+        assert_eq!(out_word(&nl, &out, "s0_dat", 8), 0x22, "master 2 wins");
+        // With equal priorities, the lower index wins.
+        let mut pins = Pins::of(&nl);
+        pins.set("m0_adr", 0x01, 8);
+        pins.set("m0_cyc", 1, 1);
+        pins.set("m0_dat", 0x11, 8);
+        pins.set("m2_adr", 0x02, 8);
+        pins.set("m2_cyc", 1, 1);
+        pins.set("m2_dat", 0x22, 8);
+        let out = simulate_one(&nl, &view, &pins.values);
+        assert_eq!(out_word(&nl, &out, "s0_dat", 8), 0x11, "master 0 wins ties");
+    }
+
+    #[test]
+    fn crossbar_is_a_large_block() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = wb_conmax(&lib, &mapper);
+        assert!(nl.gate_count() > 400, "got {}", nl.gate_count());
+    }
+}

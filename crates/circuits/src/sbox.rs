@@ -1,0 +1,180 @@
+//! Substitution-box math: exact GF(2⁴) arithmetic for the width-scaled AES
+//! generators, plus seeded balanced S-box tables for the DES-style
+//! generator (the real DES tables are not embedded; structure — 6-in/4-out
+//! boxes, expansion, P-permutation — is preserved, see DESIGN.md).
+
+/// GF(2⁴) reduction polynomial x⁴ + x + 1.
+const GF16_POLY: u64 = 0b1_0011;
+
+/// Multiplies two GF(2⁴) elements.
+pub fn gf16_mul(a: u64, b: u64) -> u64 {
+    let mut acc = 0u64;
+    let mut a = a & 0xF;
+    let mut b = b & 0xF;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a <<= 1;
+        if a & 0x10 != 0 {
+            a ^= GF16_POLY;
+        }
+        b >>= 1;
+    }
+    acc & 0xF
+}
+
+/// Multiplicative inverse in GF(2⁴) (0 maps to 0, as in AES).
+pub fn gf16_inv(a: u64) -> u64 {
+    if a == 0 {
+        return 0;
+    }
+    for b in 1..16 {
+        if gf16_mul(a, b) == 1 {
+            return b;
+        }
+    }
+    unreachable!("every nonzero GF(16) element has an inverse")
+}
+
+/// The width-scaled AES S-box: GF(2⁴) inverse followed by an affine map
+/// (rotation-based, mirroring the AES construction) plus constant 0x6.
+pub fn mini_aes_sbox(x: u64) -> u64 {
+    let inv = gf16_inv(x);
+    let rot = |v: u64, k: u64| ((v << k) | (v >> (4 - k))) & 0xF;
+    (inv ^ rot(inv, 1) ^ rot(inv, 2) ^ 0x6) & 0xF
+}
+
+/// The full 16-entry mini S-box table.
+pub fn mini_aes_sbox_table() -> Vec<u64> {
+    (0..16).map(mini_aes_sbox).collect()
+}
+
+/// MixColumns over GF(2⁴): multiplies the state column `[a, b, c, d]` by
+/// the circulant matrix `[2 3 1 1; 1 2 3 1; 1 1 2 3; 3 1 1 2]`.
+pub fn mini_mix_column(col: [u64; 4]) -> [u64; 4] {
+    let m = |x: u64, k: u64| gf16_mul(x, k);
+    [
+        m(col[0], 2) ^ m(col[1], 3) ^ col[2] ^ col[3],
+        col[0] ^ m(col[1], 2) ^ m(col[2], 3) ^ col[3],
+        col[0] ^ col[1] ^ m(col[2], 2) ^ m(col[3], 3),
+        m(col[0], 3) ^ col[1] ^ col[2] ^ m(col[3], 2),
+    ]
+}
+
+/// A seeded, balanced 6-input / 4-output S-box table (64 entries, each
+/// output value appearing exactly four times — the DES balance property).
+pub fn des_style_sbox(seed: u64) -> Vec<u64> {
+    // Four copies of 0..16, shuffled deterministically (Fisher–Yates with a
+    // splitmix-style generator).
+    let mut table: Vec<u64> = (0..64).map(|i| i % 16).collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..64usize).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        table.swap(i, j);
+    }
+    table
+}
+
+/// A seeded bit permutation of `n` positions (DES P-permutation stand-in).
+pub fn seeded_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf16_mul_properties() {
+        for a in 0..16 {
+            assert_eq!(gf16_mul(a, 1), a, "1 is identity");
+            assert_eq!(gf16_mul(a, 0), 0);
+            for b in 0..16 {
+                assert_eq!(gf16_mul(a, b), gf16_mul(b, a), "commutative");
+            }
+        }
+        // x * x = x^2: 2 * 2 = 4; 8 * 2 = x^4 = x + 1 = 3.
+        assert_eq!(gf16_mul(2, 2), 4);
+        assert_eq!(gf16_mul(8, 2), 3);
+    }
+
+    #[test]
+    fn gf16_inverse_is_correct() {
+        for a in 1..16 {
+            assert_eq!(gf16_mul(a, gf16_inv(a)), 1, "a={a}");
+        }
+        assert_eq!(gf16_inv(0), 0);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let t = mini_aes_sbox_table();
+        let mut seen = vec![false; 16];
+        for &v in &t {
+            assert!(!seen[v as usize], "duplicate output {v}");
+            seen[v as usize] = true;
+        }
+        // No fixed point at 0 (affine constant ensures it).
+        assert_ne!(mini_aes_sbox(0), 0);
+    }
+
+    #[test]
+    fn mix_column_is_invertible_linear() {
+        // Linearity: M(a ^ b) = M(a) ^ M(b).
+        let a = [1, 2, 3, 4];
+        let b = [5, 6, 7, 8];
+        let ab = [a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]];
+        let ma = mini_mix_column(a);
+        let mb = mini_mix_column(b);
+        let mab = mini_mix_column(ab);
+        for i in 0..4 {
+            assert_eq!(mab[i], ma[i] ^ mb[i]);
+        }
+        // Injectivity over a sample: distinct columns map to distinct images.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..16u64 {
+            let m = mini_mix_column([x, x ^ 1, 0, x >> 1]);
+            assert!(seen.insert(m));
+        }
+    }
+
+    #[test]
+    fn des_style_sbox_is_balanced() {
+        let t = des_style_sbox(7);
+        assert_eq!(t.len(), 64);
+        for v in 0..16u64 {
+            assert_eq!(t.iter().filter(|&&x| x == v).count(), 4, "value {v}");
+        }
+        // Different seeds give different tables.
+        assert_ne!(t, des_style_sbox(8));
+        // Same seed reproduces.
+        assert_eq!(t, des_style_sbox(7));
+    }
+
+    #[test]
+    fn seeded_permutation_is_a_permutation() {
+        let p = seeded_permutation(16, 3);
+        let mut sorted = p.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,741 @@
+//! OpenSPARC-T1-style logic-block generators, width-scaled to 16-bit
+//! datapaths: `sparc_spu` (crypto MAC), `sparc_ffu` (partitioned/VIS ops),
+//! `sparc_exu` (integer ALU), `sparc_ifu` (fetch/next-PC), `sparc_tlu`
+//! (trap priority logic), `sparc_lsu` (load/store alignment + tag compare),
+//! and `sparc_fpu` (floating-point add datapath).
+//!
+//! Carry chains are built from real `FAX1` full-adder cells (as a
+//! commercial synthesis flow would); surrounding control logic is
+//! technology-mapped from an AIG.
+
+use std::sync::Arc;
+
+use rsyn_logic::aig::Lit;
+use rsyn_logic::map::MapOptions;
+use rsyn_logic::Mapper;
+use rsyn_netlist::{Library, NetId, Netlist};
+
+use crate::arith::{carry_select_add, ripple_add};
+use crate::words::{LogicBlock, Word};
+
+fn input_word(nl: &mut Netlist, name: &str, width: usize) -> Vec<NetId> {
+    (0..width).map(|i| nl.add_input(format!("{name}{i}"))).collect()
+}
+
+fn output_word(nl: &mut Netlist, name: &str, width: usize) -> Vec<NetId> {
+    (0..width)
+        .map(|i| {
+            let n = nl.add_named_net(format!("{name}{i}"));
+            nl.mark_output(n);
+            n
+        })
+        .collect()
+}
+
+fn fresh_word(nl: &mut Netlist, name: &str, width: usize) -> Vec<NetId> {
+    (0..width).map(|i| nl.add_named_net(format!("{name}{i}"))).collect()
+}
+
+fn opts() -> MapOptions {
+    MapOptions::blend(0.2)
+}
+
+/// Stream/crypto unit: 8×8 multiplier, FAX1 accumulate adder, XOR-chain
+/// mode, result mux.
+pub fn sparc_spu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("sparc_spu", lib.clone());
+    let a_nets = input_word(&mut nl, "a", 8);
+    let b_nets = input_word(&mut nl, "b", 8);
+    let acc_nets = input_word(&mut nl, "acc", 16);
+    let mode_nets = input_word(&mut nl, "mode", 2);
+    let out_nets = output_word(&mut nl, "out", 16);
+    let ovf_net = output_word(&mut nl, "ovf", 1);
+
+    // Multiplier in mapped logic.
+    let mul_nets = fresh_word(&mut nl, "mul", 16);
+    {
+        let mut blk = LogicBlock::new();
+        let a = blk.feed(&a_nets);
+        let b = blk.feed(&b_nets);
+        let p = blk.mul_w(&a, &b);
+        blk.drive_word(&mul_nets, &p);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "spu_mul").expect("maps");
+    }
+    // FAX1 accumulate adder: acc + product.
+    let cin = nl.const0();
+    let (sum_nets, cout) = carry_select_add(&mut nl, &acc_nets, &mul_nets, cin, "spu_add").expect("adder");
+    // Mode mux + XOR (stream cipher) path.
+    {
+        let mut blk = LogicBlock::new();
+        let acc = blk.feed(&acc_nets);
+        let mul = blk.feed(&mul_nets);
+        let sum = blk.feed(&sum_nets);
+        let mode = blk.feed(&mode_nets);
+        let carry = blk.feed_bit(cout);
+        let xored = blk.xor_w(&acc, &mul);
+        let lo = blk.mux_w(mode[0], &xored, &sum);
+        let hi = blk.mux_w(mode[0], &acc, &mul);
+        let out = blk.mux_w(mode[1], &hi, &lo);
+        blk.drive_word(&out_nets, &out);
+        let use_add = blk.and(!mode[0], !mode[1]);
+        let ovf = blk.and(carry, use_add);
+        blk.drive(ovf_net[0], ovf);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "spu_mux").expect("maps");
+    }
+    nl
+}
+
+/// VIS-style partitioned unit: full 16-bit and 4×4-nibble FAX1 adds,
+/// per-nibble compare, merge/expand, op mux.
+pub fn sparc_ffu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("sparc_ffu", lib.clone());
+    let a_nets = input_word(&mut nl, "a", 16);
+    let b_nets = input_word(&mut nl, "b", 16);
+    let op_nets = input_word(&mut nl, "op", 2);
+    let out_nets = output_word(&mut nl, "out", 16);
+    let cmp_nets = output_word(&mut nl, "cmp", 4);
+
+    // Full-width FAX1 adder.
+    let cin = nl.const0();
+    let (full_sum, _) = carry_select_add(&mut nl, &a_nets, &b_nets, cin, "ffu_full").expect("adder");
+    // Partitioned adders (carry killed between nibbles).
+    let mut part_sum = Vec::new();
+    for n in 0..4 {
+        let cin = nl.const0();
+        let (s, _) = ripple_add(
+            &mut nl,
+            &a_nets[4 * n..4 * n + 4],
+            &b_nets[4 * n..4 * n + 4],
+            cin,
+            &format!("ffu_p{n}"),
+        )
+        .expect("adder");
+        part_sum.extend(s);
+    }
+    {
+        let mut blk = LogicBlock::new();
+        let a = blk.feed(&a_nets);
+        let b = blk.feed(&b_nets);
+        let op = blk.feed(&op_nets);
+        let full = blk.feed(&full_sum);
+        let part = blk.feed(&part_sum);
+        // Merge: interleave low nibbles of a and b.
+        let mut merged: Word = Vec::new();
+        for n in 0..2 {
+            merged.extend_from_slice(&a[4 * n..4 * n + 4]);
+            merged.extend_from_slice(&b[4 * n..4 * n + 4]);
+        }
+        // Per-nibble compares.
+        for n in 0..4 {
+            let an = a[4 * n..4 * n + 4].to_vec();
+            let bn = b[4 * n..4 * n + 4].to_vec();
+            let gt = blk.lt_w(&bn, &an);
+            blk.drive(cmp_nets[n], gt);
+        }
+        let sel0 = blk.mux_w(op[0], &part, &full);
+        let sel1 = blk.mux_w(op[0], &a, &merged);
+        let out = blk.mux_w(op[1], &sel1, &sel0);
+        blk.drive_word(&out_nets, &out);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "ffu").expect("maps");
+    }
+    nl
+}
+
+/// Integer execution unit: FAX1 adder/subtractor, barrel shifter, logic
+/// unit, condition codes.
+pub fn sparc_exu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("sparc_exu", lib.clone());
+    let a_nets = input_word(&mut nl, "a", 16);
+    let b_nets = input_word(&mut nl, "b", 16);
+    let op_nets = input_word(&mut nl, "op", 3);
+    let sh_nets = input_word(&mut nl, "sh", 4);
+    let out_nets = output_word(&mut nl, "out", 16);
+    let cc_nets = output_word(&mut nl, "cc", 4);
+
+    // b_eff = b ^ sub, cin = sub (two's complement subtract).
+    let beff_nets = fresh_word(&mut nl, "beff", 16);
+    let cin_net = nl.add_named_net("exu_cin");
+    {
+        let mut blk = LogicBlock::new();
+        let b = blk.feed(&b_nets);
+        let op = blk.feed(&op_nets);
+        let sub = op[0];
+        let nb = blk.not_w(&b);
+        let beff = blk.mux_w(sub, &nb, &b);
+        blk.drive_word(&beff_nets, &beff);
+        blk.drive(cin_net, sub);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "exu_pre").expect("maps");
+    }
+    let (sum_nets, cout) = carry_select_add(&mut nl, &a_nets, &beff_nets, cin_net, "exu_add").expect("adder");
+    {
+        let mut blk = LogicBlock::new();
+        let a = blk.feed(&a_nets);
+        let b = blk.feed(&b_nets);
+        let op = blk.feed(&op_nets);
+        let sh = blk.feed(&sh_nets);
+        let sum = blk.feed(&sum_nets);
+        let carry = blk.feed_bit(cout);
+        let and_r = blk.and_w(&a, &b);
+        let or_r = blk.or_w(&a, &b);
+        let xor_r = blk.xor_w(&a, &b);
+        let shl = blk.shl_barrel(&a, &sh);
+        let shr = blk.shr_barrel(&a, &sh);
+        let shift = blk.mux_w(op[0], &shr, &shl);
+        let logic = {
+            let l0 = blk.mux_w(op[0], &or_r, &and_r);
+            blk.mux_w(op[2], &xor_r, &l0)
+        };
+        let arith_or_logic = blk.mux_w(op[2], &logic, &sum);
+        let out = blk.mux_w(op[1], &shift, &arith_or_logic);
+        blk.drive_word(&out_nets, &out);
+        // Condition codes: Z, N, C, V.
+        let nz = blk.reduce_or(&out);
+        blk.drive(cc_nets[0], !nz);
+        blk.drive(cc_nets[1], out[15]);
+        blk.drive(cc_nets[2], carry);
+        let v = {
+            let bx = blk.mux(op[0], !b[15], b[15]);
+            let t = blk.xor(a[15], bx);
+            let u = blk.xor(a[15], sum[15]);
+            blk.and(!t, u)
+        };
+        blk.drive(cc_nets[3], v);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "exu").expect("maps");
+    }
+    nl
+}
+
+/// Instruction fetch unit: PC+2 FAX1 incrementer, branch-target adder,
+/// condition evaluation, next-PC mux, opcode predecode.
+pub fn sparc_ifu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("sparc_ifu", lib.clone());
+    let pc_nets = input_word(&mut nl, "pc", 16);
+    let imm_nets = input_word(&mut nl, "imm", 8);
+    let cc_nets = input_word(&mut nl, "cc", 4);
+    let cond_nets = input_word(&mut nl, "cond", 3);
+    let opc_nets = input_word(&mut nl, "opc", 8);
+    let npc_nets = output_word(&mut nl, "npc", 16);
+    let cls_nets = output_word(&mut nl, "cls", 8);
+    let taken_net = output_word(&mut nl, "tkn", 1);
+
+    // PC + 2 via FAX1 (b operand tied to the constant 2).
+    let c0 = nl.const0();
+    let c1 = nl.const1();
+    let two: Vec<NetId> = (0..16).map(|i| if i == 1 { c1 } else { c0 }).collect();
+    let (pc_inc, _) = carry_select_add(&mut nl, &pc_nets, &two, c0, "ifu_inc").expect("adder");
+    {
+        let mut blk = LogicBlock::new();
+        let pc = blk.feed(&pc_nets);
+        let imm = blk.feed(&imm_nets);
+        let cc = blk.feed(&cc_nets);
+        let cond = blk.feed(&cond_nets);
+        let opc = blk.feed(&opc_nets);
+        let inc = blk.feed(&pc_inc);
+        // Branch target: pc + sign-extended (imm << 1).
+        let mut disp: Word = vec![Lit::FALSE];
+        disp.extend_from_slice(&imm);
+        while disp.len() < 16 {
+            disp.push(imm[7]);
+        }
+        let (target, _) = blk.add_w(&pc, &disp, Lit::FALSE);
+        // Condition: cc = [Z, N, C, V]; cond selects among 8 predicates.
+        let z = cc[0];
+        let n = cc[1];
+        let c = cc[2];
+        let v = cc[3];
+        let le = {
+            let nv = blk.xor(n, v);
+            blk.or(z, nv)
+        };
+        let preds = vec![Lit::TRUE, z, !z, c, !c, n, le, !le];
+        let dec = blk.decoder(&cond.to_vec());
+        let mut taken = Lit::FALSE;
+        for (i, &p) in preds.iter().enumerate() {
+            let t = blk.and(dec[i], p);
+            taken = blk.or(taken, t);
+        }
+        // Branches only for opcode class 10xxxxxx.
+        let is_branch = blk.and(opc[7], !opc[6]);
+        let take = blk.and(taken, is_branch);
+        let npc = blk.mux_w(take, &target, &inc);
+        blk.drive_word(&npc_nets, &npc);
+        blk.drive(taken_net[0], take);
+        // Predecode: opcode class one-hot from the top 3 bits, qualified by
+        // a few low-bit patterns.
+        let hi = vec![opc[5], opc[6], opc[7]];
+        let dec8 = blk.decoder(&hi);
+        for (i, &d) in dec8.iter().enumerate() {
+            let q = blk.xor(opc[i % 5], opc[(i + 2) % 5]);
+            let cls = blk.and(d, !q);
+            blk.drive(cls_nets[i], cls);
+        }
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "ifu").expect("maps");
+    }
+    nl
+}
+
+/// Trap logic unit: masked trap requests, priority encoding, level
+/// comparison, vector formation.
+pub fn sparc_tlu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("sparc_tlu", lib.clone());
+    let req_nets = input_word(&mut nl, "req", 16);
+    let mask_nets = input_word(&mut nl, "mask", 16);
+    let lvl_nets = input_word(&mut nl, "lvl", 4);
+    let base_nets = input_word(&mut nl, "base", 8);
+    let cause_nets = output_word(&mut nl, "cause", 4);
+    let vec_nets = output_word(&mut nl, "vec", 12);
+    let take_net = output_word(&mut nl, "take", 1);
+
+    let mut blk = LogicBlock::new();
+    let req = blk.feed(&req_nets);
+    let mask = blk.feed(&mask_nets);
+    let lvl = blk.feed(&lvl_nets);
+    let base = blk.feed(&base_nets);
+    let nmask = blk.not_w(&mask);
+    let pend = blk.and_w(&req, &nmask);
+    let (cause, valid) = blk.priority_encoder(&pend);
+    blk.drive_word(&cause_nets, &cause);
+    // Take when a pending trap outranks the current level (lower encoder
+    // index = higher priority, so take when cause < lvl or lvl == 0).
+    let higher = blk.lt_w(&cause, &lvl);
+    let lvl_zero = {
+        let nz = blk.reduce_or(&lvl);
+        !nz
+    };
+    let outranks = blk.or(higher, lvl_zero);
+    let take = blk.and(valid, outranks);
+    blk.drive(take_net[0], take);
+    // Vector = base << 4 | cause, gated by take.
+    let mut vector: Word = Vec::new();
+    for &c in &cause {
+        let g = blk.and(c, take);
+        vector.push(g);
+    }
+    for &b in &base {
+        let g = blk.and(b, take);
+        vector.push(g);
+    }
+    blk.drive_word(&vec_nets, &vector);
+    blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "tlu").expect("maps");
+    nl
+}
+
+/// Load/store unit: FAX1 address adder, store alignment, byte masks,
+/// two-way tag compare, load-data select.
+pub fn sparc_lsu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("sparc_lsu", lib.clone());
+    let base_nets = input_word(&mut nl, "base", 16);
+    let off_nets = input_word(&mut nl, "off", 8);
+    let wdata_nets = input_word(&mut nl, "wd", 16);
+    let size_net = input_word(&mut nl, "sz", 1);
+    let tag_nets: Vec<Vec<NetId>> = (0..2).map(|w| input_word(&mut nl, &format!("tag{w}_"), 8)).collect();
+    let way_data: Vec<Vec<NetId>> = (0..2).map(|w| input_word(&mut nl, &format!("wdat{w}_"), 16)).collect();
+    let addr_out = output_word(&mut nl, "adr", 16);
+    let st_out = output_word(&mut nl, "st", 16);
+    let bm_out = output_word(&mut nl, "bm", 2);
+    let ld_out = output_word(&mut nl, "ld", 16);
+    let hit_out = output_word(&mut nl, "hit", 1);
+
+    // Sign-extend offset in mapped logic, then a FAX1 address adder.
+    let offx_nets = fresh_word(&mut nl, "offx", 16);
+    {
+        let mut blk = LogicBlock::new();
+        let off = blk.feed(&off_nets);
+        let mut ext: Word = off.clone();
+        while ext.len() < 16 {
+            ext.push(off[7]);
+        }
+        blk.drive_word(&offx_nets, &ext);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "lsu_ext").expect("maps");
+    }
+    let c0 = nl.const0();
+    let (addr_nets, _) = carry_select_add(&mut nl, &base_nets, &offx_nets, c0, "lsu_add").expect("adder");
+    {
+        let mut blk = LogicBlock::new();
+        let addr = blk.feed(&addr_nets);
+        let wdata = blk.feed(&wdata_nets);
+        let size = blk.feed_bit(size_net[0]);
+        let tags: Vec<Word> = tag_nets.iter().map(|t| blk.feed(t)).collect();
+        let ways: Vec<Word> = way_data.iter().map(|w| blk.feed(w)).collect();
+        blk.drive_word(&addr_out, &addr);
+        // Store alignment: byte writes to an odd address move the low byte
+        // up.
+        let shifted = blk.shl_const(&wdata, 8);
+        let odd_byte = blk.and(!size, addr[0]);
+        let st = blk.mux_w(odd_byte, &shifted, &wdata);
+        blk.drive_word(&st_out, &st);
+        // Byte mask: halfword -> 11; byte -> 01 or 10 by addr[0].
+        let bm0 = blk.or(size, !addr[0]);
+        let bm1 = blk.or(size, addr[0]);
+        blk.drive(bm_out[0], bm0);
+        blk.drive(bm_out[1], bm1);
+        // Tag compare against addr[15:8].
+        let tag_bits = addr[8..16].to_vec();
+        let hit0 = blk.eq_w(&tag_bits, &tags[0]);
+        let hit1 = blk.eq_w(&tag_bits, &tags[1]);
+        let hit = blk.or(hit0, hit1);
+        blk.drive(hit_out[0], hit);
+        let ld = blk.mux_w(hit1, &ways[1], &ways[0]);
+        let zero = blk.const_word(0, 16);
+        let ld = blk.mux_w(hit, &ld, &zero);
+        blk.drive_word(&ld_out, &ld);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "lsu").expect("maps");
+    }
+    nl
+}
+
+/// Floating-point add datapath: exponent compare/swap, mantissa align,
+/// FAX1 significand adder, leading-zero count, normalisation.
+pub fn sparc_fpu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("sparc_fpu", lib.clone());
+    let ae_nets = input_word(&mut nl, "ae", 5);
+    let am_nets = input_word(&mut nl, "am", 11);
+    let be_nets = input_word(&mut nl, "be", 5);
+    let bm_nets = input_word(&mut nl, "bm", 11);
+    let sign_nets = input_word(&mut nl, "sgn", 2);
+    let sub_net = input_word(&mut nl, "sub", 1);
+    let re_nets = output_word(&mut nl, "re", 5);
+    let rm_nets = output_word(&mut nl, "rm", 12);
+    let rs_net = output_word(&mut nl, "rs", 1);
+
+    // Stage 1 (mapped): exponent compare, operand swap, alignment shift.
+    let big_nets = fresh_word(&mut nl, "bigm", 12);
+    let small_nets = fresh_word(&mut nl, "smallm", 12);
+    let bige_nets = fresh_word(&mut nl, "bige", 5);
+    let eff_sub_net = nl.add_named_net("fpu_effsub");
+    {
+        let mut blk = LogicBlock::new();
+        let ae = blk.feed(&ae_nets);
+        let am = blk.feed(&am_nets);
+        let be = blk.feed(&be_nets);
+        let bm = blk.feed(&bm_nets);
+        let sgn = blk.feed(&sign_nets);
+        let sub = blk.feed_bit(sub_net[0]);
+        let (diff_ab, a_ge) = blk.sub_w(&ae, &be);
+        let (diff_ba, _) = blk.sub_w(&be, &ae);
+        let diff = blk.mux_w(a_ge, &diff_ab, &diff_ba);
+        // Hidden bit: mantissas are 1.m (11 stored bits + hidden one).
+        let mut a_full: Word = am.clone();
+        a_full.push(Lit::TRUE);
+        let mut b_full: Word = bm.clone();
+        b_full.push(Lit::TRUE);
+        let big = blk.mux_w(a_ge, &a_full, &b_full);
+        let small = blk.mux_w(a_ge, &b_full, &a_full);
+        let bige = blk.mux_w(a_ge, &ae, &be);
+        // Align the small mantissa right by min(diff, 15).
+        let amt = vec![diff[0], diff[1], diff[2], diff[3]];
+        let aligned = blk.shr_barrel(&small, &amt);
+        // Saturate: if diff >= 16, the small operand vanishes.
+        let big_diff = diff[4];
+        let zero = blk.const_word(0, 12);
+        let aligned = blk.mux_w(big_diff, &zero, &aligned);
+        blk.drive_word(&big_nets, &big);
+        blk.drive_word(&small_nets, &aligned);
+        blk.drive_word(&bige_nets, &bige);
+        // Effective subtraction when signs differ xor sub op.
+        let sdiff = blk.xor(sgn[0], sgn[1]);
+        let eff = blk.xor(sdiff, sub);
+        blk.drive(eff_sub_net, eff);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "fpu_pre").expect("maps");
+    }
+    // Stage 2: significand add/subtract via FAX1 (b xor eff_sub, cin=eff_sub).
+    let small_eff = fresh_word(&mut nl, "smx", 12);
+    {
+        let mut blk = LogicBlock::new();
+        let small = blk.feed(&small_nets);
+        let eff = blk.feed_bit(eff_sub_net);
+        let ns = blk.not_w(&small);
+        let sx = blk.mux_w(eff, &ns, &small);
+        blk.drive_word(&small_eff, &sx);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "fpu_bx").expect("maps");
+    }
+    let (sum_nets, _) = carry_select_add(&mut nl, &big_nets, &small_eff, eff_sub_net, "fpu_add").expect("adder");
+    // Stage 3 (mapped): leading-zero count + normalisation + exponent adjust.
+    {
+        let mut blk = LogicBlock::new();
+        let sum = blk.feed(&sum_nets);
+        let bige = blk.feed(&bige_nets);
+        let sgn = blk.feed(&sign_nets);
+        // LZC via priority encoder on the reversed sum.
+        let mut rev: Vec<Lit> = sum.clone();
+        rev.reverse();
+        let (lzc, any) = blk.priority_encoder(&rev);
+        let norm = blk.shl_barrel(&sum, &lzc);
+        blk.drive_word(&rm_nets, &norm);
+        // Exponent adjust: bige - lzc + 1 (approximate normalise).
+        let mut lzc5 = lzc.clone();
+        while lzc5.len() < 5 {
+            lzc5.push(Lit::FALSE);
+        }
+        let (eadj, _) = blk.sub_w(&bige, &lzc5);
+        let one = blk.const_word(1, 5);
+        let (eout, _) = blk.add_w(&eadj, &one, Lit::FALSE);
+        let zero = blk.const_word(0, 5);
+        let efin = blk.mux_w(any, &eout, &zero);
+        blk.drive_word(&re_nets, &efin);
+        blk.drive(rs_net[0], sgn[0]);
+        blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "fpu").expect("maps");
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsyn_netlist::sim::simulate_one;
+
+    fn get_word(nl: &Netlist, out: &[bool], name: &str, width: usize) -> u64 {
+        let view = nl.comb_view().unwrap();
+        let mut v = 0u64;
+        for i in 0..width {
+            let pin = format!("{name}{i}");
+            let idx = view
+                .pos
+                .iter()
+                .position(|&n| nl.net(n).name == pin)
+                .unwrap_or_else(|| panic!("output {pin}"));
+            if out[idx] {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    fn set_word(nl: &Netlist, pis: &mut [bool], name: &str, value: u64, width: usize) {
+        let view = nl.comb_view().unwrap();
+        for i in 0..width {
+            let pin = format!("{name}{i}");
+            let idx = view
+                .pis
+                .iter()
+                .position(|&n| nl.net(n).name == pin)
+                .unwrap_or_else(|| panic!("input {pin}"));
+            pis[idx] = (value >> i) & 1 == 1;
+        }
+    }
+
+    fn sim(nl: &Netlist, setup: impl Fn(&Netlist, &mut [bool])) -> Vec<bool> {
+        let view = nl.comb_view().unwrap();
+        let mut pis = vec![false; view.pis.len()];
+        setup(nl, &mut pis);
+        simulate_one(nl, &view, &pis)
+    }
+
+    #[test]
+    fn spu_multiply_accumulate() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = sparc_spu(&lib, &mapper);
+        nl.validate().unwrap();
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "a", 13, 8);
+            set_word(nl, pis, "b", 11, 8);
+            set_word(nl, pis, "acc", 1000, 16);
+            set_word(nl, pis, "mode", 0, 2);
+        });
+        assert_eq!(get_word(&nl, &out, "out", 16), 1000 + 13 * 11);
+        // XOR mode.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "a", 13, 8);
+            set_word(nl, pis, "b", 11, 8);
+            set_word(nl, pis, "acc", 1000, 16);
+            set_word(nl, pis, "mode", 1, 2);
+        });
+        assert_eq!(get_word(&nl, &out, "out", 16), 1000 ^ (13 * 11));
+    }
+
+    #[test]
+    fn ffu_partitioned_add() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = sparc_ffu(&lib, &mapper);
+        nl.validate().unwrap();
+        // op=0: full add.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "a", 0x1234, 16);
+            set_word(nl, pis, "b", 0x00FF, 16);
+            set_word(nl, pis, "op", 0, 2);
+        });
+        assert_eq!(get_word(&nl, &out, "out", 16), 0x1333);
+        // op=1: partitioned add (nibble-wise, carries killed).
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "a", 0x9999, 16);
+            set_word(nl, pis, "b", 0x9999, 16);
+            set_word(nl, pis, "op", 1, 2);
+        });
+        assert_eq!(get_word(&nl, &out, "out", 16), 0x2222, "9+9=18=0x12, nibble keeps 2");
+    }
+
+    #[test]
+    fn exu_alu_ops() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = sparc_exu(&lib, &mapper);
+        nl.validate().unwrap();
+        // op=000: add.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "a", 1000, 16);
+            set_word(nl, pis, "b", 2345, 16);
+            set_word(nl, pis, "op", 0, 3);
+        });
+        assert_eq!(get_word(&nl, &out, "out", 16), 3345);
+        // op=001: subtract.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "a", 2345, 16);
+            set_word(nl, pis, "b", 1000, 16);
+            set_word(nl, pis, "op", 1, 3);
+        });
+        assert_eq!(get_word(&nl, &out, "out", 16), 1345);
+        // op=010: shift left by sh.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "a", 0x0101, 16);
+            set_word(nl, pis, "op", 0b010, 3);
+            set_word(nl, pis, "sh", 4, 4);
+        });
+        assert_eq!(get_word(&nl, &out, "out", 16), 0x1010);
+        // Zero flag.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "a", 7, 16);
+            set_word(nl, pis, "b", 7, 16);
+            set_word(nl, pis, "op", 1, 3);
+        });
+        assert_eq!(get_word(&nl, &out, "out", 16), 0);
+        assert_eq!(get_word(&nl, &out, "cc", 4) & 1, 1, "Z set");
+    }
+
+    #[test]
+    fn ifu_next_pc() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = sparc_ifu(&lib, &mapper);
+        nl.validate().unwrap();
+        // Non-branch opcode: npc = pc + 2.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "pc", 0x1000, 16);
+            set_word(nl, pis, "opc", 0x00, 8);
+        });
+        assert_eq!(get_word(&nl, &out, "npc", 16), 0x1002);
+        assert_eq!(get_word(&nl, &out, "tkn", 1), 0);
+        // Branch always (cond=0) with displacement 4 -> pc + 8.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "pc", 0x1000, 16);
+            set_word(nl, pis, "opc", 0x80, 8);
+            set_word(nl, pis, "cond", 0, 3);
+            set_word(nl, pis, "imm", 4, 8);
+        });
+        assert_eq!(get_word(&nl, &out, "npc", 16), 0x1008);
+        assert_eq!(get_word(&nl, &out, "tkn", 1), 1);
+        // Branch on zero, Z clear -> fall through.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "pc", 0x1000, 16);
+            set_word(nl, pis, "opc", 0x80, 8);
+            set_word(nl, pis, "cond", 1, 3);
+            set_word(nl, pis, "imm", 4, 8);
+            set_word(nl, pis, "cc", 0, 4);
+        });
+        assert_eq!(get_word(&nl, &out, "npc", 16), 0x1002);
+    }
+
+    #[test]
+    fn tlu_priority_and_level() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = sparc_tlu(&lib, &mapper);
+        nl.validate().unwrap();
+        // Requests 5 and 9 pending, level 12: cause = 5, taken.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "req", (1 << 5) | (1 << 9), 16);
+            set_word(nl, pis, "mask", 0, 16);
+            set_word(nl, pis, "lvl", 12, 4);
+            set_word(nl, pis, "base", 0xA5, 8);
+        });
+        assert_eq!(get_word(&nl, &out, "cause", 4), 5);
+        assert_eq!(get_word(&nl, &out, "take", 1), 1);
+        assert_eq!(get_word(&nl, &out, "vec", 12), (0xA5 << 4) | 5);
+        // Masked request is ignored.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "req", 1 << 5, 16);
+            set_word(nl, pis, "mask", 1 << 5, 16);
+            set_word(nl, pis, "lvl", 12, 4);
+        });
+        assert_eq!(get_word(&nl, &out, "take", 1), 0);
+        // Lower-priority (higher index) trap does not outrank the level.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "req", 1 << 9, 16);
+            set_word(nl, pis, "mask", 0, 16);
+            set_word(nl, pis, "lvl", 3, 4);
+        });
+        assert_eq!(get_word(&nl, &out, "take", 1), 0);
+    }
+
+    #[test]
+    fn lsu_address_and_tags() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = sparc_lsu(&lib, &mapper);
+        nl.validate().unwrap();
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "base", 0x4000, 16);
+            set_word(nl, pis, "off", 0x10, 8);
+            set_word(nl, pis, "tag0_", 0x40, 8);
+            set_word(nl, pis, "wdat0_", 0xBEEF, 16);
+            set_word(nl, pis, "sz", 1, 1);
+            set_word(nl, pis, "wd", 0x1234, 16);
+        });
+        assert_eq!(get_word(&nl, &out, "adr", 16), 0x4010);
+        assert_eq!(get_word(&nl, &out, "hit", 1), 1, "tag0 matches 0x40");
+        assert_eq!(get_word(&nl, &out, "ld", 16), 0xBEEF);
+        assert_eq!(get_word(&nl, &out, "bm", 2), 0b11, "halfword mask");
+        assert_eq!(get_word(&nl, &out, "st", 16), 0x1234);
+        // Negative offset.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "base", 0x4000, 16);
+            set_word(nl, pis, "off", 0xF0, 8); // -16
+        });
+        assert_eq!(get_word(&nl, &out, "adr", 16), 0x3FF0);
+    }
+
+    #[test]
+    fn fpu_adds_aligned_magnitudes() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = sparc_fpu(&lib, &mapper);
+        nl.validate().unwrap();
+        // Equal exponents, add: 1.m_a + 1.m_b.
+        let out = sim(&nl, |nl, pis| {
+            set_word(nl, pis, "ae", 10, 5);
+            set_word(nl, pis, "be", 10, 5);
+            set_word(nl, pis, "am", 0x100, 11);
+            set_word(nl, pis, "bm", 0x0FF, 11);
+            set_word(nl, pis, "sgn", 0, 2);
+            set_word(nl, pis, "sub", 0, 1);
+        });
+        let sum = (0x800 + 0x100) + (0x800 + 0x0FF); // hidden bits at 2^11
+        let rm = get_word(&nl, &out, "rm", 12);
+        // Normalised: left-shifted so the MSB is 1.
+        let mut expect = sum as u64;
+        while expect & 0x800 == 0 {
+            expect <<= 1;
+        }
+        assert_eq!(rm, expect & 0xFFF);
+        assert!(get_word(&nl, &out, "re", 5) > 0);
+    }
+
+    #[test]
+    fn all_sparc_blocks_have_fax_cells() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        for (name, build) in [
+            ("sparc_spu", sparc_spu as fn(&Arc<Library>, &Mapper) -> Netlist),
+            ("sparc_ffu", sparc_ffu),
+            ("sparc_exu", sparc_exu),
+            ("sparc_ifu", sparc_ifu),
+            ("sparc_lsu", sparc_lsu),
+            ("sparc_fpu", sparc_fpu),
+        ] {
+            let nl = build(&lib, &mapper);
+            let has_fax = nl.gates().any(|(_, g)| nl.lib().cell(g.cell).name == "FAX1");
+            assert!(has_fax, "{name} should instantiate FAX1 carry chains");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! `tv80`-style generator: an 8-bit microprocessor execution slice — ALU
+//! with Z80-style flags, rotate unit, PLA-style instruction decoder, and a
+//! 16-bit address incrementer/decrementer.
+
+use std::sync::Arc;
+
+use rsyn_logic::aig::Lit;
+use rsyn_logic::map::MapOptions;
+use rsyn_logic::Mapper;
+use rsyn_netlist::{Library, NetId, Netlist};
+
+use crate::sbox::seeded_permutation;
+use crate::words::{LogicBlock, Word};
+
+fn input_word(nl: &mut Netlist, name: &str, width: usize) -> Vec<NetId> {
+    (0..width).map(|i| nl.add_input(format!("{name}{i}"))).collect()
+}
+
+fn output_word(nl: &mut Netlist, name: &str, width: usize) -> Vec<NetId> {
+    (0..width)
+        .map(|i| {
+            let n = nl.add_named_net(format!("{name}{i}"));
+            nl.mark_output(n);
+            n
+        })
+        .collect()
+}
+
+/// A seeded PLA: each output is an OR of `terms` AND-terms over a random
+/// subset of the inputs (the classic two-level decoder structure).
+fn pla(blk: &mut LogicBlock, inputs: &Word, outputs: usize, terms: usize, seed: u64) -> Word {
+    let mut out = Vec::with_capacity(outputs);
+    for o in 0..outputs {
+        let mut acc = Lit::FALSE;
+        for t in 0..terms {
+            let sel = seeded_permutation(inputs.len(), seed ^ ((o * terms + t) as u64 + 1));
+            let width = 3 + (seed as usize + o + t) % 3; // 3..5 literals
+            let mut term = Lit::TRUE;
+            for (k, &idx) in sel.iter().take(width).enumerate() {
+                let lit = if (seed >> ((o + t + k) % 64)) & 1 == 1 { !inputs[idx] } else { inputs[idx] };
+                term = blk.and(term, lit);
+            }
+            acc = blk.or(acc, term);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Builds the tv80 execution slice.
+pub fn tv80(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
+    let mut nl = Netlist::new("tv80", lib.clone());
+    let acc_nets = input_word(&mut nl, "acc", 8);
+    let bus_nets = input_word(&mut nl, "bus", 8);
+    let op_nets = input_word(&mut nl, "ir", 8);
+    let flags_in_nets = input_word(&mut nl, "fi", 6);
+    let addr_nets = input_word(&mut nl, "adr", 16);
+    let res_nets = output_word(&mut nl, "res", 8);
+    let flags_nets = output_word(&mut nl, "fo", 6);
+    let ctl_nets = output_word(&mut nl, "ctl", 10);
+    let addr_out_nets = output_word(&mut nl, "adq", 16);
+
+    let mut blk = LogicBlock::new();
+    let acc = blk.feed(&acc_nets);
+    let bus = blk.feed(&bus_nets);
+    let ir = blk.feed(&op_nets);
+    let flags_in = blk.feed(&flags_in_nets);
+    let addr = blk.feed(&addr_nets);
+
+    // --- ALU -----------------------------------------------------------------
+    // alu_op = ir[5:3] (Z80 encoding): ADD ADC SUB SBC AND XOR OR CP.
+    let alu_op = vec![ir[3], ir[4], ir[5]];
+    let carry_in = flags_in[0];
+    let is_sub = alu_op[1]; // SUB/SBC/CP family
+    let use_carry = alu_op[0];
+    let b_eff = {
+        let nb = blk.not_w(&bus);
+        blk.mux_w(is_sub, &nb, &bus)
+    };
+    let cin = {
+        let carry_term = blk.mux(use_carry, carry_in, Lit::FALSE);
+        let sub_carry = blk.mux(use_carry, carry_in, Lit::FALSE);
+        // For SUB/CP the effective carry-in is !borrow.
+        let sub_cin = blk.mux(use_carry, !sub_carry, Lit::TRUE);
+        blk.mux(is_sub, sub_cin, carry_term)
+    };
+    let (sum, carry_out) = blk.add_w(&acc, &b_eff, cin);
+    // Half-carry from bit 3 to 4: recompute low-nibble add.
+    let (_, half_carry) = {
+        let lo_a = acc[..4].to_vec();
+        let lo_b = b_eff[..4].to_vec();
+        blk.add_w(&lo_a, &lo_b, cin)
+    };
+    let and_r = blk.and_w(&acc, &bus);
+    let xor_r = blk.xor_w(&acc, &bus);
+    let or_r = blk.or_w(&acc, &bus);
+    // Select: op2==0 -> arithmetic; else logic ops by alu_op[0..2].
+    let logic_sel0 = blk.mux_w(alu_op[0], &xor_r, &and_r);
+    let logic_sel1 = blk.mux_w(alu_op[0], &sum, &or_r); // CP result = sum (flags only)
+    let logic_r = blk.mux_w(alu_op[1], &logic_sel1, &logic_sel0);
+    let alu_r = blk.mux_w(alu_op[2], &logic_r, &sum);
+
+    // --- rotate unit ----------------------------------------------------------
+    let rlc = blk.rotl_const(&acc, 1);
+    let rrc = blk.rotl_const(&acc, 7);
+    let rot_r = blk.mux_w(ir[3], &rrc, &rlc);
+    // ir[7:6] == 00 selects the rotate group (CB-space approximation).
+    let is_rot = blk.and(!ir[7], !ir[6]);
+    let result = blk.mux_w(is_rot, &rot_r, &alu_r);
+    blk.drive_word(&res_nets, &result);
+
+    // --- flags ------------------------------------------------------------------
+    let zero = {
+        let nz = blk.reduce_or(&result);
+        !nz
+    };
+    let sign = result[7];
+    let parity = {
+        let p = blk.reduce_xor(&result);
+        !p
+    };
+    let overflow = {
+        // V = carry into msb xor carry out of msb.
+        let msb_a = acc[7];
+        let msb_b = b_eff[7];
+        let msb_r = sum[7];
+        let t = blk.xor(msb_a, msb_b);
+        let u = blk.xor(msb_a, msb_r);
+        blk.and(!t, u)
+    };
+    blk.drive(flags_nets[0], carry_out);
+    blk.drive(flags_nets[1], zero);
+    blk.drive(flags_nets[2], sign);
+    blk.drive(flags_nets[3], parity);
+    blk.drive(flags_nets[4], half_carry);
+    blk.drive(flags_nets[5], overflow);
+
+    // --- decoder PLA ----------------------------------------------------------------
+    let mut dec_in = ir.clone();
+    dec_in.push(flags_in[1]);
+    dec_in.push(flags_in[2]);
+    let ctl = pla(&mut blk, &dec_in, 10, 4, 0x7F80);
+    blk.drive_word(&ctl_nets, &ctl);
+
+    // --- 16-bit incrementer/decrementer (PC/SP path) --------------------------------
+    let one = blk.const_word(1, 16);
+    let minus_one = blk.const_word(0xFFFF, 16);
+    let delta = blk.mux_w(ir[0], &minus_one, &one);
+    let (addr_next, _) = blk.add_w(&addr, &delta, Lit::FALSE);
+    let addr_out = blk.mux_w(ctl[0], &addr_next, &addr);
+    blk.drive_word(&addr_out_nets, &addr_out);
+
+    blk.emit(&mut nl, mapper, &lib.comb_cells(), &MapOptions::blend(0.2), "tv80")
+        .expect("full library maps");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsyn_netlist::sim::simulate_one;
+
+    fn run(nl: &Netlist, acc: u64, bus: u64, ir: u64, flags: u64, addr: u64) -> Vec<bool> {
+        let view = nl.comb_view().unwrap();
+        let mut pis = Vec::new();
+        for i in 0..8 {
+            pis.push((acc >> i) & 1 == 1);
+        }
+        for i in 0..8 {
+            pis.push((bus >> i) & 1 == 1);
+        }
+        for i in 0..8 {
+            pis.push((ir >> i) & 1 == 1);
+        }
+        for i in 0..6 {
+            pis.push((flags >> i) & 1 == 1);
+        }
+        for i in 0..16 {
+            pis.push((addr >> i) & 1 == 1);
+        }
+        simulate_one(nl, &view, &pis)
+    }
+
+    fn byte(out: &[bool], base: usize) -> u64 {
+        (0..8).fold(0u64, |acc, i| acc | (u64::from(out[base + i]) << i))
+    }
+
+    #[test]
+    fn alu_add_and_flags() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = tv80(&lib, &mapper);
+        nl.validate().unwrap();
+        // ADD: ir[7:6]=10 (not rotate), alu_op=000 (ADD).
+        let out = run(&nl, 0x12, 0x34, 0b1000_0000, 0, 0);
+        assert_eq!(byte(&out, 0), 0x46, "0x12 + 0x34");
+        // Z flag for 0 + 0.
+        let out = run(&nl, 0, 0, 0b1000_0000, 0, 0);
+        assert!(out[8 + 1], "zero flag set");
+        // Carry for 0xFF + 0x01.
+        let out = run(&nl, 0xFF, 0x01, 0b1000_0000, 0, 0);
+        assert!(out[8], "carry set");
+        assert_eq!(byte(&out, 0), 0x00);
+    }
+
+    #[test]
+    fn alu_logic_ops() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = tv80(&lib, &mapper);
+        // AND: alu_op = 100 -> ir[5]=1, ir[4:3]=00.
+        let out = run(&nl, 0xF0, 0x3C, 0b1010_0000, 0, 0);
+        assert_eq!(byte(&out, 0), 0x30, "0xF0 & 0x3C");
+        // XOR: alu_op = 101 -> ir[5]=1, ir[3]=1.
+        let out = run(&nl, 0xF0, 0x3C, 0b1010_1000, 0, 0);
+        assert_eq!(byte(&out, 0), 0xCC, "0xF0 ^ 0x3C");
+        // OR: alu_op = 110 -> ir[5]=1, ir[4]=1.
+        let out = run(&nl, 0xF0, 0x3C, 0b1011_0000, 0, 0);
+        assert_eq!(byte(&out, 0), 0xFC, "0xF0 | 0x3C");
+    }
+
+    #[test]
+    fn rotate_group() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = tv80(&lib, &mapper);
+        // RLC: ir[7:6]=00, ir[3]=0.
+        let out = run(&nl, 0b1000_0001, 0, 0b0000_0000, 0, 0);
+        assert_eq!(byte(&out, 0), 0b0000_0011);
+        // RRC: ir[3]=1.
+        let out = run(&nl, 0b1000_0001, 0, 0b0000_1000, 0, 0);
+        assert_eq!(byte(&out, 0), 0b1100_0000);
+    }
+
+    #[test]
+    fn incrementer_path() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = tv80(&lib, &mapper);
+        // The address output either holds or steps by ±1 depending on the
+        // decoder PLA; verify both observed behaviours are consistent.
+        let out = run(&nl, 0, 0, 0b1000_0000, 0, 0x1234);
+        let addr_out = (0..16).fold(0u64, |acc, i| acc | (u64::from(out[8 + 6 + 10 + i]) << i));
+        assert!(
+            addr_out == 0x1234 || addr_out == 0x1235 || addr_out == 0x1233,
+            "addr out {addr_out:#x}"
+        );
+    }
+
+    #[test]
+    fn has_realistic_size() {
+        let lib = Library::osu018();
+        let mapper = Mapper::new(&lib);
+        let nl = tv80(&lib, &mapper);
+        assert!(nl.gate_count() > 150, "got {}", nl.gate_count());
+    }
+}

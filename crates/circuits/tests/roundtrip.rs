@@ -1,0 +1,46 @@
+//! Integration tests: every benchmark survives a Verilog write→parse round
+//! trip and a full-library remap, both verified by equivalence checking.
+
+use rsyn_circuits::{build_benchmark_with, BENCHMARKS};
+use rsyn_logic::equiv::{check_equivalence, EquivResult};
+use rsyn_logic::map::MapOptions;
+use rsyn_logic::{Mapper, Window};
+use rsyn_netlist::verilog::{parse_verilog, write_verilog};
+use rsyn_netlist::Library;
+
+#[test]
+fn all_benchmarks_roundtrip_through_verilog() {
+    let lib = Library::osu018();
+    let mapper = Mapper::new(&lib);
+    for name in BENCHMARKS {
+        let nl = build_benchmark_with(name, &lib, &mapper).expect(name);
+        let text = write_verilog(&nl);
+        let back = parse_verilog(&text, lib.clone()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        back.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        match check_equivalence(&nl, &back, 2048, 0xC0FFEE) {
+            EquivResult::Equivalent | EquivResult::ProbablyEquivalent { .. } => {}
+            other => panic!("{name}: round trip changed the function: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn remapping_benchmarks_preserves_function() {
+    let lib = Library::osu018();
+    let mapper = Mapper::new(&lib);
+    // A representative subset (keeps the test fast on one core).
+    for name in ["sparc_tlu", "sparc_ifu", "systemcaes"] {
+        let nl = build_benchmark_with(name, &lib, &mapper).expect(name);
+        let mut remapped = nl.clone();
+        let gates: Vec<_> = remapped.gates().map(|(id, _)| id).collect();
+        let window = Window::extract(&remapped, &gates);
+        window
+            .resynthesize_with(&mut remapped, &mapper, &lib.comb_cells(), &MapOptions::area())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        remapped.validate().unwrap();
+        match check_equivalence(&nl, &remapped, 4096, 0xFEED) {
+            EquivResult::Equivalent | EquivResult::ProbablyEquivalent { .. } => {}
+            other => panic!("{name}: remap changed the function: {other:?}"),
+        }
+    }
+}

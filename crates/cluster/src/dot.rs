@@ -1,0 +1,99 @@
+//! Graphviz DOT export of the undetectable-fault cluster structure — the
+//! visual counterpart of the paper's Fig. 2 (cluster A, cluster B, …).
+
+use std::fmt::Write as _;
+
+use rsyn_netlist::Netlist;
+
+use crate::Clusters;
+
+/// Renders `G_U`'s induced gate graph as DOT: one node per gate carrying
+/// undetectable faults (labelled with cell name and fault count), edges for
+/// structural adjacency, and box clusters for the `top` largest fault
+/// clusters.
+pub fn clusters_to_dot(nl: &Netlist, clusters: &Clusters, top: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph clusters {{");
+    let _ = writeln!(s, "  rankdir=LR; node [shape=box, fontsize=9];");
+
+    // Fault count per gate (within the clustered subset).
+    use std::collections::HashMap;
+    let mut fault_count: HashMap<_, usize> = HashMap::new();
+    for gates in &clusters.fault_gates {
+        for &g in gates {
+            *fault_count.entry(g).or_insert(0) += 1;
+        }
+    }
+
+    // Subgraph per top cluster.
+    for (rank, cluster) in clusters.clusters.iter().take(top).enumerate() {
+        let _ = writeln!(s, "  subgraph cluster_{rank} {{");
+        let _ = writeln!(
+            s,
+            "    label=\"cluster {} ({} faults)\"; style=rounded;",
+            (b'A' + rank as u8) as char,
+            cluster.len()
+        );
+        let mut emitted = std::collections::HashSet::new();
+        for &fi in cluster {
+            for &g in &clusters.fault_gates[fi] {
+                if emitted.insert(g) {
+                    let cell = nl.gate(g).map(|gt| nl.lib().cell(gt.cell).name.clone());
+                    let _ = writeln!(
+                        s,
+                        "    {} [label=\"{} {}\\n{} faults\"];",
+                        g,
+                        g,
+                        cell.unwrap_or_default(),
+                        fault_count.get(&g).copied().unwrap_or(0)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s, "  }}");
+    }
+
+    // Adjacency edges among all G_U gates.
+    let g_u = clusters.gates_of_all();
+    let set: std::collections::HashSet<_> = g_u.iter().copied().collect();
+    for &g in &g_u {
+        for succ in nl.fanout_gates(g) {
+            if set.contains(&succ) {
+                let _ = writeln!(s, "  {g} -> {succ};");
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_faults;
+    use rsyn_atpg::fault::{Fault, FaultKind};
+    use rsyn_netlist::Library;
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("d", lib.clone());
+        let a = nl.add_input("a");
+        let n1 = nl.add_named_net("n1");
+        let n2 = nl.add_named_net("n2");
+        let inv = lib.cell_id("INVX1").unwrap();
+        nl.add_gate("g1", inv, &[a], &[n1]).unwrap();
+        nl.add_gate("g2", inv, &[n1], &[n2]).unwrap();
+        nl.mark_output(n2);
+        let faults = vec![
+            Fault::external(FaultKind::StuckAt { net: n1, value: false }, 0),
+            Fault::external(FaultKind::StuckAt { net: n2, value: true }, 0),
+        ];
+        let clusters = cluster_faults(&nl, &faults, &[0, 1]);
+        let dot = clusters_to_dot(&nl, &clusters, 3);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster A"));
+        assert!(dot.contains("->"), "adjacency edge present");
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

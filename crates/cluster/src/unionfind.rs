@@ -1,0 +1,80 @@
+//! Union-find with path halving and union by size.
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Finds the representative of `x` (path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        big
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.same(0, 1));
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert!(uf.same(0, 1));
+        assert!(uf.same(3, 4));
+        assert!(!uf.same(1, 3));
+        uf.union(1, 3);
+        assert!(uf.same(0, 4));
+        assert_eq!(uf.set_size(2), 1);
+        assert_eq!(uf.set_size(0), 4);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(0, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(uf.set_size(0), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Plain-text serialization of DFM guideline decks.
+//!
+//! Foundry DFM decks arrive as text rule files; this module gives the
+//! reproduction the same workflow — the built-in 59-guideline deck can be
+//! dumped, edited (thresholds tightened, categories dropped), and loaded
+//! back, so experiments can run against custom decks.
+//!
+//! Format: one guideline per line,
+//! `id | category | rule-keyword param=value… | name`, `#` comments.
+
+use std::fmt::Write as _;
+
+use crate::guideline::{Guideline, GuidelineCategory, GuidelineRule, GuidelineSet};
+
+/// Error from deck parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDeckError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDeckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deck parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDeckError {}
+
+/// Serialises a guideline set as a deck file.
+pub fn write_deck(set: &GuidelineSet) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# rsyn DFM guideline deck ({} guidelines)", set.len());
+    for g in set.iter() {
+        let cat = match g.category {
+            GuidelineCategory::Via => "via",
+            GuidelineCategory::Metal => "metal",
+            GuidelineCategory::Density => "density",
+        };
+        let rule = match g.rule {
+            GuidelineRule::ViaSpacing { min_um } => format!("via_spacing min={min_um}"),
+            GuidelineRule::SameNetViaSpacing { min_um } => {
+                format!("same_net_via_spacing min={min_um}")
+            }
+            GuidelineRule::RedundantVia { wirelength_per_via_um } => {
+                format!("redundant_via wl_per_via={wirelength_per_via_um}")
+            }
+            GuidelineRule::ViaMetalSpacing { min_um } => format!("via_metal_spacing min={min_um}"),
+            GuidelineRule::ParallelRun { min_space_um, min_overlap_um } => {
+                format!("parallel_run space={min_space_um} overlap={min_overlap_um}")
+            }
+            GuidelineRule::LongWire { max_len_um } => format!("long_wire max={max_len_um}"),
+            GuidelineRule::Jog { max_len_um } => format!("jog max={max_len_um}"),
+            GuidelineRule::EndOfLine { min_um } => format!("end_of_line min={min_um}"),
+            GuidelineRule::DensityHigh { max } => format!("density_high max={max}"),
+            GuidelineRule::DensityLow { min } => format!("density_low min={min}"),
+            GuidelineRule::DensityGradient { max_delta } => {
+                format!("density_gradient max_delta={max_delta}")
+            }
+        };
+        let _ = writeln!(s, "{} | {} | {} | {}", g.id, cat, rule, g.name);
+    }
+    s
+}
+
+/// Parses a deck file back into a guideline set.
+///
+/// # Errors
+///
+/// Returns [`ParseDeckError`] on malformed lines, unknown rule keywords,
+/// or missing parameters.
+pub fn parse_deck(text: &str) -> Result<GuidelineSet, ParseDeckError> {
+    let mut guidelines = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: &str| ParseDeckError { line: lineno + 1, message: message.to_string() };
+        let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if parts.len() != 4 {
+            return Err(err("expected `id | category | rule | name`"));
+        }
+        let id: u16 = parts[0].parse().map_err(|_| err("bad id"))?;
+        let category = match parts[1] {
+            "via" => GuidelineCategory::Via,
+            "metal" => GuidelineCategory::Metal,
+            "density" => GuidelineCategory::Density,
+            other => return Err(err(&format!("unknown category {other}"))),
+        };
+        let mut words = parts[2].split_whitespace();
+        let keyword = words.next().ok_or_else(|| err("missing rule keyword"))?;
+        let mut params = std::collections::HashMap::new();
+        for w in words {
+            let (k, v) = w.split_once('=').ok_or_else(|| err("malformed parameter"))?;
+            let v: f64 = v.parse().map_err(|_| err("non-numeric parameter"))?;
+            params.insert(k.to_string(), v);
+        }
+        let need = |k: &str| params.get(k).copied().ok_or_else(|| err(&format!("missing {k}")));
+        let rule = match keyword {
+            "via_spacing" => GuidelineRule::ViaSpacing { min_um: need("min")? },
+            "same_net_via_spacing" => GuidelineRule::SameNetViaSpacing { min_um: need("min")? },
+            "redundant_via" => {
+                GuidelineRule::RedundantVia { wirelength_per_via_um: need("wl_per_via")? }
+            }
+            "via_metal_spacing" => GuidelineRule::ViaMetalSpacing { min_um: need("min")? },
+            "parallel_run" => GuidelineRule::ParallelRun {
+                min_space_um: need("space")?,
+                min_overlap_um: need("overlap")?,
+            },
+            "long_wire" => GuidelineRule::LongWire { max_len_um: need("max")? },
+            "jog" => GuidelineRule::Jog { max_len_um: need("max")? },
+            "end_of_line" => GuidelineRule::EndOfLine { min_um: need("min")? },
+            "density_high" => GuidelineRule::DensityHigh { max: need("max")? },
+            "density_low" => GuidelineRule::DensityLow { min: need("min")? },
+            "density_gradient" => GuidelineRule::DensityGradient { max_delta: need("max_delta")? },
+            other => return Err(err(&format!("unknown rule keyword {other}"))),
+        };
+        guidelines.push(Guideline { id, category, name: parts[3].to_string(), rule });
+    }
+    Ok(GuidelineSet::from_guidelines(guidelines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_standard_deck() {
+        let set = GuidelineSet::standard();
+        let text = write_deck(&set);
+        let back = parse_deck(&text).expect("parse back");
+        assert_eq!(back.len(), set.len());
+        for (a, b) in set.iter().zip(back.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\n0 | via | via_spacing min=1.5 | test rule\n";
+        let set = parse_deck(text).expect("parse");
+        assert_eq!(set.len(), 1);
+        assert_eq!(
+            set.by_id(0).unwrap().rule,
+            GuidelineRule::ViaSpacing { min_um: 1.5 }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "# ok\nbogus line without pipes\n";
+        let err = parse_deck(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        let text2 = "0 | via | warp_drive min=1 | x\n";
+        assert!(parse_deck(text2).unwrap_err().message.contains("unknown rule"));
+        let text3 = "0 | via | via_spacing | x\n";
+        assert!(parse_deck(text3).unwrap_err().message.contains("missing min"));
+    }
+}

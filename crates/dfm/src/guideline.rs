@@ -1,0 +1,281 @@
+//! The DFM guideline set: 19 *Via*, 29 *Metal*, and 11 *Density*
+//! guidelines, matching the category structure and counts used in the
+//! paper's experiments (Section IV).
+//!
+//! Each guideline is a parameterised geometric recommendation; several
+//! tiers of the same mechanism appear as separate guidelines, exactly as
+//! foundry DFM decks grade recommendations by severity.
+
+/// Guideline category (the paper's three groups).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GuidelineCategory {
+    /// Via-related guidelines (opens at vias, via shorts).
+    Via,
+    /// Metal-related guidelines (spacing, width, jogs).
+    Metal,
+    /// Pattern-density guidelines (CMP dishing/erosion).
+    Density,
+}
+
+/// The geometric check a guideline performs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GuidelineRule {
+    /// Vias of different nets closer than `min_um` (short risk).
+    ViaSpacing {
+        /// Minimum recommended centre-to-centre spacing (µm).
+        min_um: f64,
+    },
+    /// Vias of the same net closer than `min_um` (landing overlap, open risk).
+    SameNetViaSpacing {
+        /// Minimum recommended spacing (µm).
+        min_um: f64,
+    },
+    /// A net with more than `wirelength_per_via_um` of wire per via
+    /// (redundant vias recommended; open risk).
+    RedundantVia {
+        /// Maximum recommended wirelength carried per via (µm).
+        wirelength_per_via_um: f64,
+    },
+    /// A via closer than `min_um` to a foreign metal segment (short risk).
+    ViaMetalSpacing {
+        /// Minimum recommended spacing (µm).
+        min_um: f64,
+    },
+    /// Two parallel same-layer segments of different nets with edge spacing
+    /// below `min_space_um` over more than `min_overlap_um` (short risk).
+    ParallelRun {
+        /// Minimum recommended spacing (µm).
+        min_space_um: f64,
+        /// Parallel-run length above which the spacing is recommended (µm).
+        min_overlap_um: f64,
+    },
+    /// A minimum-width segment longer than `max_len_um` (widening
+    /// recommended; open risk).
+    LongWire {
+        /// Maximum recommended length at minimum width (µm).
+        max_len_um: f64,
+    },
+    /// A segment shorter than `max_len_um` (a jog; open risk at notches).
+    Jog {
+        /// Length below which a segment counts as a jog (µm).
+        max_len_um: f64,
+    },
+    /// A segment end within `min_um` of a foreign via (end-of-line
+    /// enclosure; short risk).
+    EndOfLine {
+        /// Minimum recommended end-of-line clearance (µm).
+        min_um: f64,
+    },
+    /// A density window above `max` (erosion; short risk).
+    DensityHigh {
+        /// Maximum recommended window density.
+        max: f64,
+    },
+    /// A density window below `min` (dishing; open risk).
+    DensityLow {
+        /// Minimum recommended window density.
+        min: f64,
+    },
+    /// Adjacent windows with density difference above `max_delta`.
+    DensityGradient {
+        /// Maximum recommended density step between adjacent windows.
+        max_delta: f64,
+    },
+}
+
+/// One DFM guideline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Guideline {
+    /// Stable id (used as fault provenance).
+    pub id: u16,
+    /// Category.
+    pub category: GuidelineCategory,
+    /// Human-readable name.
+    pub name: String,
+    /// The geometric rule.
+    pub rule: GuidelineRule,
+}
+
+/// An immutable set of guidelines.
+#[derive(Clone, Debug)]
+pub struct GuidelineSet {
+    guidelines: Vec<Guideline>,
+}
+
+impl GuidelineSet {
+    /// Builds a set from explicit guidelines (e.g. a parsed custom deck).
+    pub fn from_guidelines(guidelines: Vec<Guideline>) -> Self {
+        Self { guidelines }
+    }
+
+    /// The standard set: 19 Via + 29 Metal + 11 Density guidelines.
+    pub fn standard() -> Self {
+        let mut g = Vec::new();
+        let mut id = 0u16;
+        let mut push = |category, name: String, rule| {
+            g.push(Guideline { id, category, name, rule });
+            id += 1;
+        };
+
+        // --- Via: 6 + 3 + 5 + 5 = 19 --------------------------------------
+        for (k, s) in [0.7, 1.0, 1.3, 1.6, 1.9, 2.2].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Via,
+                format!("VIA.SP.{k}: via-to-via spacing >= {s}"),
+                GuidelineRule::ViaSpacing { min_um: s },
+            );
+        }
+        for (k, s) in [0.5, 0.8, 1.1].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Via,
+                format!("VIA.SN.{k}: same-net via spacing >= {s}"),
+                GuidelineRule::SameNetViaSpacing { min_um: s },
+            );
+        }
+        for (k, l) in [30.0, 60.0, 90.0, 120.0, 150.0].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Via,
+                format!("VIA.RD.{k}: redundant via beyond {l} um of wire per via"),
+                GuidelineRule::RedundantVia { wirelength_per_via_um: l },
+            );
+        }
+        for (k, s) in [0.5, 0.7, 0.9, 1.1, 1.3].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Via,
+                format!("VIA.MS.{k}: via-to-foreign-metal spacing >= {s}"),
+                GuidelineRule::ViaMetalSpacing { min_um: s },
+            );
+        }
+
+        // --- Metal: 12 + 8 + 5 + 4 = 29 ------------------------------------
+        for (k, (s, l)) in [
+            (0.55, 5.0),
+            (0.55, 10.0),
+            (0.55, 20.0),
+            (0.55, 40.0),
+            (0.85, 5.0),
+            (0.85, 10.0),
+            (0.85, 20.0),
+            (0.85, 40.0),
+            (1.05, 5.0),
+            (1.05, 10.0),
+            (1.05, 20.0),
+            (1.05, 40.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            push(
+                GuidelineCategory::Metal,
+                format!("MET.PR.{k}: spacing >= {s} for parallel runs > {l} um"),
+                GuidelineRule::ParallelRun { min_space_um: s, min_overlap_um: l },
+            );
+        }
+        for (k, l) in [30.0, 50.0, 75.0, 100.0, 130.0, 160.0, 200.0, 250.0].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Metal,
+                format!("MET.LW.{k}: widen min-width wires longer than {l} um"),
+                GuidelineRule::LongWire { max_len_um: l },
+            );
+        }
+        for (k, l) in [0.5, 1.0, 1.5, 2.0, 2.5].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Metal,
+                format!("MET.JG.{k}: avoid jogs shorter than {l} um"),
+                GuidelineRule::Jog { max_len_um: l },
+            );
+        }
+        for (k, s) in [0.6, 0.9, 1.2, 1.5].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Metal,
+                format!("MET.EL.{k}: line-end clearance to foreign via >= {s}"),
+                GuidelineRule::EndOfLine { min_um: s },
+            );
+        }
+
+        // --- Density: 5 + 3 + 3 = 11 -----------------------------------------
+        for (k, d) in [0.45, 0.55, 0.65, 0.75, 0.85].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Density,
+                format!("DEN.HI.{k}: window density <= {d}"),
+                GuidelineRule::DensityHigh { max: d },
+            );
+        }
+        for (k, d) in [0.02, 0.05, 0.08].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Density,
+                format!("DEN.LO.{k}: window density >= {d}"),
+                GuidelineRule::DensityLow { min: d },
+            );
+        }
+        for (k, d) in [0.4, 0.5, 0.6].into_iter().enumerate() {
+            push(
+                GuidelineCategory::Density,
+                format!("DEN.GR.{k}: adjacent window density step <= {d}"),
+                GuidelineRule::DensityGradient { max_delta: d },
+            );
+        }
+
+        Self { guidelines: g }
+    }
+
+    /// All guidelines.
+    pub fn iter(&self) -> impl Iterator<Item = &Guideline> {
+        self.guidelines.iter()
+    }
+
+    /// Number of guidelines.
+    pub fn len(&self) -> usize {
+        self.guidelines.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.guidelines.is_empty()
+    }
+
+    /// Guidelines of one category.
+    pub fn of_category(&self, category: GuidelineCategory) -> Vec<&Guideline> {
+        self.guidelines.iter().filter(|g| g.category == category).collect()
+    }
+
+    /// Looks up a guideline by id.
+    pub fn by_id(&self, id: u16) -> Option<&Guideline> {
+        self.guidelines.iter().find(|g| g.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_counts_match_the_paper() {
+        let set = GuidelineSet::standard();
+        assert_eq!(set.of_category(GuidelineCategory::Via).len(), 19);
+        assert_eq!(set.of_category(GuidelineCategory::Metal).len(), 29);
+        assert_eq!(set.of_category(GuidelineCategory::Density).len(), 11);
+        assert_eq!(set.len(), 59);
+    }
+
+    #[test]
+    fn ids_are_unique_and_dense() {
+        let set = GuidelineSet::standard();
+        let mut ids: Vec<u16> = set.iter().map(|g| g.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), set.len());
+        assert_eq!(ids[0], 0);
+        assert_eq!(*ids.last().unwrap() as usize, set.len() - 1);
+        assert!(set.by_id(0).is_some());
+        assert!(set.by_id(999).is_none());
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let set = GuidelineSet::standard();
+        for g in set.iter() {
+            assert!(!g.name.is_empty());
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Geometric scanning of a routed layout against the DFM guideline set.
+//!
+//! This stands in for the commercial verification/sign-off package the
+//! paper uses: each guideline's rule is checked over the layout database
+//! and every match becomes a [`Violation`] anchored to the layout objects
+//! involved (which the translation step turns into logic faults).
+
+use std::collections::HashMap;
+
+use rsyn_netlist::NetId;
+use rsyn_pdesign::{Layer, Layout, Point, Segment, Via};
+
+use crate::guideline::{GuidelineRule, GuidelineSet};
+
+/// Density window size used by the Density guidelines (µm).
+pub const DENSITY_WINDOW_UM: f64 = 24.0;
+/// Maximum nets attributed to one density-window violation.
+const REGION_NET_CAP: usize = 6;
+
+/// The layout object(s) a violation is anchored to, tagged with the defect
+/// mechanism the guideline anticipates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ViolationTarget {
+    /// Open risk on a single net (via/wire opens).
+    NetOpen {
+        /// The net at risk.
+        net: NetId,
+    },
+    /// Short risk between two specific nets.
+    NetPairShort {
+        /// First net.
+        a: NetId,
+        /// Second net.
+        b: NetId,
+    },
+    /// Open risk over all nets crossing a layout region.
+    RegionOpen {
+        /// Nets in the region (capped).
+        nets: Vec<NetId>,
+    },
+    /// Short risk over all nets crossing a layout region.
+    RegionShort {
+        /// Nets in the region (capped).
+        nets: Vec<NetId>,
+    },
+}
+
+/// One DFM guideline violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The violated guideline's id.
+    pub guideline: u16,
+    /// The anchored layout objects.
+    pub target: ViolationTarget,
+}
+
+/// Scans a layout against a guideline set.
+pub fn scan_layout(layout: &Layout, guidelines: &GuidelineSet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let vias: Vec<&Via> = layout.nets.iter().flat_map(|n| n.vias.iter()).collect();
+    let segments: Vec<&Segment> = layout.nets.iter().flat_map(|n| n.segments.iter()).collect();
+    let via_buckets = bucket_points(&vias, 3.0);
+    let seg_h: Vec<&Segment> = segments.iter().copied().filter(|s| s.layer == Layer::M2).collect();
+    let seg_v: Vec<&Segment> = segments.iter().copied().filter(|s| s.layer == Layer::M3).collect();
+
+    for g in guidelines.iter() {
+        match g.rule {
+            GuidelineRule::ViaSpacing { min_um } => {
+                for (a, b) in via_pairs(&vias, &via_buckets, min_um) {
+                    if a.net != b.net {
+                        out.push(Violation {
+                            guideline: g.id,
+                            target: ViolationTarget::NetPairShort { a: a.net, b: b.net },
+                        });
+                    }
+                }
+            }
+            GuidelineRule::SameNetViaSpacing { min_um } => {
+                for (a, b) in via_pairs(&vias, &via_buckets, min_um) {
+                    if a.net == b.net {
+                        out.push(Violation {
+                            guideline: g.id,
+                            target: ViolationTarget::NetOpen { net: a.net },
+                        });
+                    }
+                }
+            }
+            GuidelineRule::RedundantVia { wirelength_per_via_um } => {
+                for rn in &layout.nets {
+                    let vias = rn.vias.len().max(1);
+                    if rn.wirelength() / vias as f64 > wirelength_per_via_um {
+                        out.push(Violation {
+                            guideline: g.id,
+                            target: ViolationTarget::NetOpen { net: rn.net },
+                        });
+                    }
+                }
+            }
+            GuidelineRule::ViaMetalSpacing { min_um } => {
+                for via in &vias {
+                    for seg in nearby_segments(&seg_h, &seg_v, via.at, min_um) {
+                        if seg.net != via.net && point_segment_dist(via.at, seg) < min_um {
+                            out.push(Violation {
+                                guideline: g.id,
+                                target: ViolationTarget::NetPairShort { a: via.net, b: seg.net },
+                            });
+                        }
+                    }
+                }
+            }
+            GuidelineRule::ParallelRun { min_space_um, min_overlap_um } => {
+                parallel_run_pairs(&seg_h, true, min_space_um, min_overlap_um, |a, b| {
+                    out.push(Violation {
+                        guideline: g.id,
+                        target: ViolationTarget::NetPairShort { a, b },
+                    });
+                });
+                parallel_run_pairs(&seg_v, false, min_space_um, min_overlap_um, |a, b| {
+                    out.push(Violation {
+                        guideline: g.id,
+                        target: ViolationTarget::NetPairShort { a, b },
+                    });
+                });
+            }
+            GuidelineRule::LongWire { max_len_um } => {
+                for seg in &segments {
+                    if seg.length() > max_len_um {
+                        out.push(Violation {
+                            guideline: g.id,
+                            target: ViolationTarget::NetOpen { net: seg.net },
+                        });
+                    }
+                }
+            }
+            GuidelineRule::Jog { max_len_um } => {
+                for rn in &layout.nets {
+                    if rn.segments.len() > 2 {
+                        for seg in &rn.segments {
+                            let l = seg.length();
+                            if l > 1e-9 && l < max_len_um {
+                                out.push(Violation {
+                                    guideline: g.id,
+                                    target: ViolationTarget::NetOpen { net: rn.net },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            GuidelineRule::EndOfLine { min_um } => {
+                for seg in &segments {
+                    for end in [seg.a, seg.b] {
+                        for via in nearby_vias(&vias, &via_buckets, end, min_um) {
+                            if via.net != seg.net && end.manhattan(&via.at) < min_um {
+                                out.push(Violation {
+                                    guideline: g.id,
+                                    target: ViolationTarget::NetPairShort { a: seg.net, b: via.net },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            GuidelineRule::DensityHigh { max } => {
+                for nets in dense_windows(layout, |d| d > max) {
+                    out.push(Violation {
+                        guideline: g.id,
+                        target: ViolationTarget::RegionShort { nets },
+                    });
+                }
+            }
+            GuidelineRule::DensityLow { min } => {
+                for nets in dense_windows(layout, |d| d < min) {
+                    if !nets.is_empty() {
+                        out.push(Violation {
+                            guideline: g.id,
+                            target: ViolationTarget::RegionOpen { nets },
+                        });
+                    }
+                }
+            }
+            GuidelineRule::DensityGradient { max_delta } => {
+                for nets in gradient_windows(layout, max_delta) {
+                    out.push(Violation {
+                        guideline: g.id,
+                        target: ViolationTarget::RegionOpen { nets },
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+// --- spatial helpers -----------------------------------------------------------
+
+type Bucket = HashMap<(i64, i64), Vec<usize>>;
+
+fn bucket_points(vias: &[&Via], cell: f64) -> Bucket {
+    let mut b: Bucket = HashMap::new();
+    for (i, v) in vias.iter().enumerate() {
+        let key = ((v.at.x / cell) as i64, (v.at.y / cell) as i64);
+        b.entry(key).or_default().push(i);
+    }
+    b
+}
+
+/// Pairs of vias within `dist` (each unordered pair reported once).
+fn via_pairs<'a>(vias: &'a [&'a Via], buckets: &Bucket, dist: f64) -> Vec<(&'a Via, &'a Via)> {
+    let cell = 3.0f64;
+    let reach = (dist / cell).ceil() as i64;
+    let mut out = Vec::new();
+    for (&(bx, by), idxs) in buckets {
+        for dx in 0..=reach {
+            for dy in -reach..=reach {
+                if dx == 0 && dy < 0 {
+                    continue;
+                }
+                let Some(peer) = buckets.get(&(bx + dx, by + dy)) else { continue };
+                for &i in idxs {
+                    for &j in peer {
+                        let same_bucket = dx == 0 && dy == 0;
+                        if same_bucket && j <= i {
+                            continue;
+                        }
+                        let (a, b) = (vias[i], vias[j]);
+                        if a.at.manhattan(&b.at) < dist && a.at.manhattan(&b.at) > 1e-9 {
+                            out.push((a, b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn nearby_vias<'a>(vias: &'a [&'a Via], buckets: &Bucket, at: Point, dist: f64) -> Vec<&'a Via> {
+    let cell = 3.0f64;
+    let reach = (dist / cell).ceil() as i64;
+    let (bx, by) = ((at.x / cell) as i64, (at.y / cell) as i64);
+    let mut out = Vec::new();
+    for dx in -reach..=reach {
+        for dy in -reach..=reach {
+            if let Some(idxs) = buckets.get(&(bx + dx, by + dy)) {
+                for &i in idxs {
+                    out.push(vias[i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn nearby_segments<'a>(
+    seg_h: &'a [&'a Segment],
+    seg_v: &'a [&'a Segment],
+    at: Point,
+    dist: f64,
+) -> Vec<&'a Segment> {
+    // Brute bands: horizontal segments within |y - at.y| < dist; vertical
+    // within |x - at.x| < dist. Linear scans are acceptable because the
+    // candidate filter is cheap and via counts dominate.
+    let mut out = Vec::new();
+    for s in seg_h {
+        if (s.a.y - at.y).abs() < dist && at.x > s.a.x - dist && at.x < s.b.x + dist {
+            out.push(*s);
+        }
+    }
+    for s in seg_v {
+        if (s.a.x - at.x).abs() < dist && at.y > s.a.y - dist && at.y < s.b.y + dist {
+            out.push(*s);
+        }
+    }
+    out
+}
+
+fn point_segment_dist(p: Point, s: &Segment) -> f64 {
+    if s.is_horizontal() {
+        let dx = if p.x < s.a.x {
+            s.a.x - p.x
+        } else if p.x > s.b.x {
+            p.x - s.b.x
+        } else {
+            0.0
+        };
+        dx + (p.y - s.a.y).abs()
+    } else {
+        let dy = if p.y < s.a.y {
+            s.a.y - p.y
+        } else if p.y > s.b.y {
+            p.y - s.b.y
+        } else {
+            0.0
+        };
+        dy + (p.x - s.a.x).abs()
+    }
+}
+
+/// Calls `emit(a, b)` for same-layer parallel segments of different nets
+/// with edge spacing below `min_space` over more than `min_overlap`.
+fn parallel_run_pairs<F: FnMut(NetId, NetId)>(
+    segs: &[&Segment],
+    horizontal: bool,
+    min_space: f64,
+    min_overlap: f64,
+    mut emit: F,
+) {
+    // Band by the cross coordinate so only nearby tracks are compared.
+    let band = |s: &Segment| {
+        let c = if horizontal { s.a.y } else { s.a.x };
+        (c / min_space.max(1.0)) as i64
+    };
+    let mut bands: HashMap<i64, Vec<usize>> = HashMap::new();
+    for (i, s) in segs.iter().enumerate() {
+        bands.entry(band(s)).or_default().push(i);
+    }
+    for (&b, idxs) in &bands {
+        let mut candidates = idxs.clone();
+        if let Some(next) = bands.get(&(b + 1)) {
+            candidates.extend_from_slice(next);
+        }
+        for (pos, &i) in candidates.iter().enumerate() {
+            for &j in &candidates[pos + 1..] {
+                let (s, t) = (segs[i], segs[j]);
+                if s.net == t.net {
+                    continue;
+                }
+                let (cross_s, cross_t) = if horizontal { (s.a.y, t.a.y) } else { (s.a.x, t.a.x) };
+                if (cross_s - cross_t).abs() >= min_space || (cross_s - cross_t).abs() < 1e-9 {
+                    continue;
+                }
+                let (lo_s, hi_s) = if horizontal { (s.a.x, s.b.x) } else { (s.a.y, s.b.y) };
+                let (lo_t, hi_t) = if horizontal { (t.a.x, t.b.x) } else { (t.a.y, t.b.y) };
+                let overlap = hi_s.min(hi_t) - lo_s.max(lo_t);
+                if overlap > min_overlap {
+                    emit(s.net, t.net);
+                }
+            }
+        }
+    }
+}
+
+/// Nets crossing each density window matching `pred` (capped).
+fn dense_windows<F: Fn(f64) -> bool>(layout: &Layout, pred: F) -> Vec<Vec<NetId>> {
+    let map = layout.density_map(DENSITY_WINDOW_UM);
+    let nets = window_nets(layout);
+    let mut out = Vec::new();
+    for (iy, row) in map.iter().enumerate() {
+        for (ix, &d) in row.iter().enumerate() {
+            if pred(d) {
+                out.push(nets.get(&(ix, iy)).cloned().unwrap_or_default());
+            }
+        }
+    }
+    out
+}
+
+/// Windows whose density differs from a right/up neighbour by more than
+/// `max_delta`; returns the nets of the sparser window (open risk).
+fn gradient_windows(layout: &Layout, max_delta: f64) -> Vec<Vec<NetId>> {
+    let map = layout.density_map(DENSITY_WINDOW_UM);
+    let nets = window_nets(layout);
+    let mut out = Vec::new();
+    for iy in 0..map.len() {
+        for ix in 0..map[iy].len() {
+            for (nx, ny) in [(ix + 1, iy), (ix, iy + 1)] {
+                if ny < map.len() && nx < map[ny].len() {
+                    let d0 = map[iy][ix];
+                    let d1 = map[ny][nx];
+                    if (d0 - d1).abs() > max_delta {
+                        let key = if d0 < d1 { (ix, iy) } else { (nx, ny) };
+                        let ns = nets.get(&key).cloned().unwrap_or_default();
+                        if !ns.is_empty() {
+                            out.push(ns);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// First few nets crossing each window.
+fn window_nets(layout: &Layout) -> HashMap<(usize, usize), Vec<NetId>> {
+    let mut map: HashMap<(usize, usize), Vec<NetId>> = HashMap::new();
+    for rn in &layout.nets {
+        for seg in &rn.segments {
+            let steps = (seg.length() / (DENSITY_WINDOW_UM / 2.0)).ceil().max(1.0) as usize;
+            for s in 0..=steps {
+                let t = s as f64 / steps as f64;
+                let x = seg.a.x + (seg.b.x - seg.a.x) * t;
+                let y = seg.a.y + (seg.b.y - seg.a.y) * t;
+                let key = ((x / DENSITY_WINDOW_UM) as usize, (y / DENSITY_WINDOW_UM) as usize);
+                let entry = map.entry(key).or_default();
+                if entry.len() < REGION_NET_CAP && !entry.contains(&rn.net) {
+                    entry.push(rn.net);
+                }
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsyn_netlist::{Library, Netlist};
+    use rsyn_pdesign::flow::physical_design;
+
+    fn routed_sample(gates: usize) -> (Netlist, Layout) {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("s", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let mut nets = vec![a, b];
+        let nand = lib.cell_id("NAND2X1").unwrap();
+        for i in 0..gates {
+            let y = nl.add_net();
+            let x0 = nets[i % nets.len()];
+            let x1 = nets[(i * 7 + 1) % nets.len()];
+            nl.add_gate(format!("g{i}"), nand, &[x0, x1], &[y]).unwrap();
+            nets.push(y);
+        }
+        let last = *nets.last().unwrap();
+        nl.mark_output(last);
+        let pd = physical_design(&nl, 3).unwrap();
+        (nl, pd.layout)
+    }
+
+    #[test]
+    fn scan_finds_violations_in_every_category() {
+        let (_, layout) = routed_sample(60);
+        let set = GuidelineSet::standard();
+        let violations = scan_layout(&layout, &set);
+        assert!(!violations.is_empty());
+        let mut cats = std::collections::HashSet::new();
+        for v in &violations {
+            cats.insert(set.by_id(v.guideline).unwrap().category);
+        }
+        assert!(
+            cats.contains(&crate::guideline::GuidelineCategory::Via),
+            "no via violations found"
+        );
+        assert!(
+            cats.contains(&crate::guideline::GuidelineCategory::Metal),
+            "no metal violations found"
+        );
+    }
+
+    #[test]
+    fn tighter_tiers_catch_more() {
+        let (_, layout) = routed_sample(60);
+        let set = GuidelineSet::standard();
+        let violations = scan_layout(&layout, &set);
+        // Guideline 5 (via spacing 2.2) is a superset of guideline 0 (0.7).
+        let count = |id: u16| violations.iter().filter(|v| v.guideline == id).count();
+        assert!(count(5) >= count(0), "looser tier must catch at least as many");
+    }
+
+    #[test]
+    fn violations_reference_real_nets() {
+        let (nl, layout) = routed_sample(40);
+        let set = GuidelineSet::standard();
+        for v in scan_layout(&layout, &set) {
+            match v.target {
+                ViolationTarget::NetOpen { net } => {
+                    assert!(net.index() < nl.net_count());
+                }
+                ViolationTarget::NetPairShort { a, b } => {
+                    assert_ne!(a, b, "short between a net and itself");
+                }
+                ViolationTarget::RegionOpen { ref nets } | ViolationTarget::RegionShort { ref nets } => {
+                    assert!(nets.len() <= REGION_NET_CAP);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn denser_layouts_violate_more() {
+        let (_, small) = routed_sample(20);
+        let (_, big) = routed_sample(120);
+        let set = GuidelineSet::standard();
+        let v_small = scan_layout(&small, &set).len();
+        let v_big = scan_layout(&big, &set).len();
+        assert!(v_big > v_small, "bigger design: {v_big} vs {v_small}");
+    }
+}

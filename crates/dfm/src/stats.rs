@@ -1,0 +1,120 @@
+//! Per-guideline fault statistics: which DFM guidelines dominate the fault
+//! population and the undetectable subset — the deck-analysis view used
+//! for defect diagnosis in the paper's companion work [8].
+
+use std::collections::BTreeMap;
+
+use rsyn_atpg::fault::{Fault, FaultStatus};
+
+use crate::guideline::{GuidelineCategory, GuidelineSet};
+
+/// Counters for one guideline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GuidelineStats {
+    /// Faults attributed to this guideline.
+    pub faults: usize,
+    /// Of which internal.
+    pub internal: usize,
+    /// Undetectable faults attributed to this guideline.
+    pub undetectable: usize,
+}
+
+/// Per-guideline and per-category breakdown of a fault population.
+#[derive(Clone, Debug, Default)]
+pub struct DeckReport {
+    /// Keyed by guideline id.
+    pub per_guideline: BTreeMap<u16, GuidelineStats>,
+}
+
+impl DeckReport {
+    /// Builds the report; `statuses` may be shorter than `faults` (missing
+    /// entries count as undetermined).
+    pub fn build(faults: &[Fault], statuses: &[FaultStatus]) -> Self {
+        let mut per_guideline: BTreeMap<u16, GuidelineStats> = BTreeMap::new();
+        for (i, f) in faults.iter().enumerate() {
+            let e = per_guideline.entry(f.guideline).or_default();
+            e.faults += 1;
+            if f.is_internal() {
+                e.internal += 1;
+            }
+            if statuses.get(i) == Some(&FaultStatus::Undetectable) {
+                e.undetectable += 1;
+            }
+        }
+        Self { per_guideline }
+    }
+
+    /// Aggregates per category given the guideline set.
+    pub fn per_category(&self, set: &GuidelineSet) -> BTreeMap<&'static str, GuidelineStats> {
+        let mut out: BTreeMap<&'static str, GuidelineStats> = BTreeMap::new();
+        for (&id, s) in &self.per_guideline {
+            let label = match set.by_id(id).map(|g| g.category) {
+                Some(GuidelineCategory::Via) => "Via",
+                Some(GuidelineCategory::Metal) => "Metal",
+                Some(GuidelineCategory::Density) => "Density",
+                None => "unknown",
+            };
+            let e = out.entry(label).or_default();
+            e.faults += s.faults;
+            e.internal += s.internal;
+            e.undetectable += s.undetectable;
+        }
+        out
+    }
+
+    /// The `n` guidelines with the most undetectable faults, descending.
+    pub fn worst_guidelines(&self, n: usize) -> Vec<(u16, GuidelineStats)> {
+        let mut v: Vec<(u16, GuidelineStats)> =
+            self.per_guideline.iter().map(|(&id, &s)| (id, s)).collect();
+        v.sort_by_key(|(id, s)| (std::cmp::Reverse(s.undetectable), *id));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsyn_atpg::fault::{CellCondition, FaultKind};
+    use rsyn_netlist::{GateId, NetId};
+
+    fn sample() -> (Vec<Fault>, Vec<FaultStatus>) {
+        let faults = vec![
+            Fault::internal(GateId(0), vec![CellCondition { pattern: 0, output: 0 }], 3),
+            Fault::internal(GateId(1), vec![], 3),
+            Fault::external(FaultKind::StuckAt { net: NetId(5), value: true }, 20),
+        ];
+        let statuses = vec![
+            FaultStatus::Detected,
+            FaultStatus::Undetectable,
+            FaultStatus::Detected,
+        ];
+        (faults, statuses)
+    }
+
+    #[test]
+    fn builds_counts() {
+        let (faults, statuses) = sample();
+        let r = DeckReport::build(&faults, &statuses);
+        assert_eq!(r.per_guideline[&3].faults, 2);
+        assert_eq!(r.per_guideline[&3].internal, 2);
+        assert_eq!(r.per_guideline[&3].undetectable, 1);
+        assert_eq!(r.per_guideline[&20].faults, 1);
+        assert_eq!(r.per_guideline[&20].internal, 0);
+    }
+
+    #[test]
+    fn category_rollup_and_ranking() {
+        let (faults, statuses) = sample();
+        let r = DeckReport::build(&faults, &statuses);
+        let set = GuidelineSet::standard();
+        let cats = r.per_category(&set);
+        // Guidelines 3 and 20 are both in the Via range (0..19) and Metal
+        // range (19..48) respectively.
+        assert_eq!(cats["Via"].faults, 2);
+        assert_eq!(cats["Metal"].faults, 1);
+        let worst = r.worst_guidelines(1);
+        assert_eq!(worst[0].0, 3);
+        assert_eq!(worst[0].1.undetectable, 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Translation of DFM guideline violations into external logic faults.
+//!
+//! Open-risk violations become stuck-at or transition faults on the net at
+//! risk; short-risk violations become wired-AND/OR bridging faults between
+//! the two nets. Behaviourally identical faults arising from different
+//! guidelines are deduplicated (first guideline wins as provenance), and
+//! feedback bridges (one net in the other's fanout cone) are excluded —
+//! they would require sequential test generation, outside the paper's
+//! combinational scope.
+
+use std::collections::{HashMap, HashSet};
+
+use rsyn_atpg::fault::{BridgeKind, Fault, FaultKind};
+use rsyn_netlist::{Driver, NetId, Netlist};
+
+use crate::scan::{Violation, ViolationTarget};
+
+/// Canonical behavioural identity of an external fault (dedupe key).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Sa(NetId, bool),
+    Tr(NetId, bool),
+    Br(NetId, NetId, BridgeKind),
+}
+
+/// Translates violations into a deduplicated external fault list.
+pub fn translate_violations(nl: &Netlist, violations: &[Violation]) -> Vec<Fault> {
+    let mut seen: HashSet<Key> = HashSet::new();
+    let mut out: Vec<Fault> = Vec::new();
+    let reach = ReachCache::new(nl);
+
+    let push_open = |net: NetId, guideline: u16, seen: &mut HashSet<Key>, out: &mut Vec<Fault>| {
+        if !faultable(nl, net) {
+            return;
+        }
+        // Opens manifest as resistive (transition) or full (stuck-at)
+        // defects; pick deterministically by site so the mix is stable.
+        let h = mix(net.index() as u64, guideline as u64);
+        let fault = match h % 4 {
+            0 => (Key::Sa(net, false), FaultKind::StuckAt { net, value: false }),
+            1 => (Key::Sa(net, true), FaultKind::StuckAt { net, value: true }),
+            2 => (Key::Tr(net, true), FaultKind::Transition { net, rising: true }),
+            _ => (Key::Tr(net, false), FaultKind::Transition { net, rising: false }),
+        };
+        if seen.insert(fault.0) {
+            out.push(Fault::external(fault.1, guideline));
+        }
+    };
+
+    for v in violations {
+        match &v.target {
+            ViolationTarget::NetOpen { net } => push_open(*net, v.guideline, &mut seen, &mut out),
+            ViolationTarget::RegionOpen { nets } => {
+                for &net in nets {
+                    push_open(net, v.guideline, &mut seen, &mut out);
+                }
+            }
+            ViolationTarget::NetPairShort { a, b } => {
+                push_bridge(nl, &reach, *a, *b, v.guideline, &mut seen, &mut out);
+            }
+            ViolationTarget::RegionShort { nets } => {
+                for pair in nets.chunks(2) {
+                    if let [a, b] = pair {
+                        push_bridge(nl, &reach, *a, *b, v.guideline, &mut seen, &mut out);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push_bridge(
+    nl: &Netlist,
+    reach: &ReachCache<'_>,
+    a: NetId,
+    b: NetId,
+    guideline: u16,
+    seen: &mut HashSet<Key>,
+    out: &mut Vec<Fault>,
+) {
+    if a == b || !faultable(nl, a) || !faultable(nl, b) {
+        return;
+    }
+    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+    let kind = if mix(a.index() as u64, b.index() as u64) % 2 == 0 {
+        BridgeKind::WiredAnd
+    } else {
+        BridgeKind::WiredOr
+    };
+    let key = Key::Br(a, b, kind);
+    if seen.contains(&key) {
+        return;
+    }
+    if reach.reaches(a, b) || reach.reaches(b, a) {
+        return; // feedback bridge: out of combinational scope
+    }
+    seen.insert(key);
+    out.push(Fault::external(FaultKind::Bridge { a, b, kind }, guideline));
+}
+
+/// Nets that can carry faults: driven, not constants.
+fn faultable(nl: &Netlist, net: NetId) -> bool {
+    match nl.net(net).driver {
+        Some(Driver::Const(_)) | None => false,
+        _ => true,
+    }
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    x
+}
+
+/// Memoised net-to-net forward reachability.
+struct ReachCache<'a> {
+    nl: &'a Netlist,
+    memo: std::cell::RefCell<HashMap<(NetId, NetId), bool>>,
+}
+
+impl<'a> ReachCache<'a> {
+    fn new(nl: &'a Netlist) -> Self {
+        Self { nl, memo: std::cell::RefCell::new(HashMap::new()) }
+    }
+
+    /// True if a change on `from` can propagate to `to` through gates.
+    fn reaches(&self, from: NetId, to: NetId) -> bool {
+        if let Some(&r) = self.memo.borrow().get(&(from, to)) {
+            return r;
+        }
+        let mut visited = HashSet::new();
+        let mut stack = vec![from];
+        let mut found = false;
+        while let Some(n) = stack.pop() {
+            if n == to {
+                found = true;
+                break;
+            }
+            if !visited.insert(n) {
+                continue;
+            }
+            for &(sink, _) in &self.nl.net(n).loads {
+                if let Some(gate) = self.nl.gate(sink) {
+                    // Flops cut propagation in the combinational view.
+                    if self.nl.lib().cell(gate.cell).class == rsyn_netlist::CellClass::Flop {
+                        continue;
+                    }
+                    for &o in &gate.outputs {
+                        if !visited.contains(&o) {
+                            stack.push(o);
+                        }
+                    }
+                }
+            }
+        }
+        self.memo.borrow_mut().insert((from, to), found);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ViolationTarget;
+    use rsyn_netlist::Library;
+
+    fn chain() -> (Netlist, Vec<NetId>) {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("c", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let inv = lib.cell_id("INVX1").unwrap();
+        let n1 = nl.add_net();
+        let n2 = nl.add_net();
+        let n3 = nl.add_net();
+        nl.add_gate("g1", inv, &[a], &[n1]).unwrap();
+        nl.add_gate("g2", inv, &[n1], &[n2]).unwrap();
+        nl.add_gate("g3", inv, &[b], &[n3]).unwrap();
+        nl.mark_output(n2);
+        nl.mark_output(n3);
+        (nl, vec![a, b, n1, n2, n3])
+    }
+
+    #[test]
+    fn open_violations_become_net_faults() {
+        let (nl, nets) = chain();
+        let violations = vec![
+            Violation { guideline: 0, target: ViolationTarget::NetOpen { net: nets[2] } },
+            Violation { guideline: 1, target: ViolationTarget::NetOpen { net: nets[3] } },
+        ];
+        let faults = translate_violations(&nl, &violations);
+        assert_eq!(faults.len(), 2);
+        assert!(faults.iter().all(|f| !f.is_internal()));
+    }
+
+    #[test]
+    fn duplicate_violations_are_merged() {
+        let (nl, nets) = chain();
+        let v = Violation { guideline: 3, target: ViolationTarget::NetOpen { net: nets[2] } };
+        let faults = translate_violations(&nl, &[v.clone(), v]);
+        assert_eq!(faults.len(), 1, "same site + same guideline dedupes");
+    }
+
+    #[test]
+    fn feedback_bridges_are_excluded() {
+        let (nl, nets) = chain();
+        // n1 drives n2 through g2: a bridge between them is feedback.
+        let v = Violation {
+            guideline: 0,
+            target: ViolationTarget::NetPairShort { a: nets[2], b: nets[3] },
+        };
+        let faults = translate_violations(&nl, &[v]);
+        assert!(faults.is_empty(), "feedback bridge must be dropped");
+        // n2 and n3 are independent: bridge kept.
+        let v2 = Violation {
+            guideline: 0,
+            target: ViolationTarget::NetPairShort { a: nets[3], b: nets[4] },
+        };
+        let faults = translate_violations(&nl, &[v2]);
+        assert_eq!(faults.len(), 1);
+        assert!(matches!(faults[0].kind, FaultKind::Bridge { .. }));
+    }
+
+    #[test]
+    fn const_nets_carry_no_faults() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("k", lib.clone());
+        let a = nl.add_input("a");
+        let c1 = nl.const1();
+        let y = nl.add_named_net("y");
+        let nand = lib.cell_id("NAND2X1").unwrap();
+        nl.add_gate("g", nand, &[a, c1], &[y]).unwrap();
+        nl.mark_output(y);
+        let v = Violation { guideline: 0, target: ViolationTarget::NetOpen { net: c1 } };
+        assert!(translate_violations(&nl, &[v]).is_empty());
+    }
+
+    #[test]
+    fn region_faults_are_capped_by_net_list() {
+        let (nl, nets) = chain();
+        let v = Violation {
+            guideline: 55,
+            target: ViolationTarget::RegionOpen { nets: vec![nets[2], nets[3], nets[4]] },
+        };
+        let faults = translate_violations(&nl, &[v]);
+        assert_eq!(faults.len(), 3);
+    }
+
+    #[test]
+    fn bridge_endpoints_ordered_canonically() {
+        let (nl, nets) = chain();
+        let v1 = Violation {
+            guideline: 0,
+            target: ViolationTarget::NetPairShort { a: nets[4], b: nets[3] },
+        };
+        let v2 = Violation {
+            guideline: 1,
+            target: ViolationTarget::NetPairShort { a: nets[3], b: nets[4] },
+        };
+        let faults = translate_violations(&nl, &[v1, v2]);
+        assert_eq!(faults.len(), 1, "reversed pair dedupes");
+    }
+}

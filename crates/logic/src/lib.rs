@@ -1,0 +1,58 @@
+//! Logic synthesis for the `rsyn` DFM-resynthesis system.
+//!
+//! The paper's resynthesis procedure needs one capability from a synthesis
+//! tool: `Synthesize(C_sub, allowed_cells)` — re-implement a subcircuit's
+//! logic using only a *restricted subset* of the standard-cell library
+//! (cells with many internal faults are banned first). This crate provides
+//! that capability from scratch:
+//!
+//! * [`aig`] — a structurally-hashed and-inverter graph;
+//! * [`cuts`] — k-feasible cut enumeration (k ≤ 4);
+//! * [`matcher`] — exhaustive permutation/phase matching of cut functions
+//!   against library cells;
+//! * [`map`] — an area-flow DAG mapper honouring an allowed-cell mask;
+//! * [`window`] — extraction of a subcircuit window from a netlist and
+//!   re-stitching of the mapped replacement.
+//!
+//! # Example: remapping a netlist without its XOR cells
+//!
+//! ```
+//! use rsyn_netlist::{Library, Netlist};
+//! use rsyn_logic::{map::MapOptions, window::Window};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = Library::osu018();
+//! let mut nl = Netlist::new("t", lib.clone());
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_named_net("y");
+//! let xor = lib.cell_id("XOR2X1").unwrap();
+//! nl.add_gate("u0", xor, &[a, b], &[y])?;
+//! nl.mark_output(y);
+//!
+//! // Ban the XOR/XNOR cells and remap the whole netlist.
+//! let mut allowed: Vec<_> = lib.comb_cells();
+//! allowed.retain(|&c| {
+//!     let n = &lib.cell(c).name;
+//!     n != "XOR2X1" && n != "XNOR2X1"
+//! });
+//! let gates: Vec<_> = nl.gates().map(|(id, _)| id).collect();
+//! let window = Window::extract(&nl, &gates);
+//! window.resynthesize(&mut nl, &allowed, &MapOptions::area())?;
+//! assert!(nl.gates().all(|(_, g)| nl.lib().cell(g.cell).name != "XOR2X1"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aig;
+pub mod cuts;
+pub mod equiv;
+pub mod map;
+pub mod matcher;
+pub mod window;
+
+pub use aig::{Aig, Lit};
+pub use equiv::{check_equivalence, EquivResult};
+pub use map::{MapOptions, Mapper};
+pub use matcher::MatchTable;
+pub use window::Window;

@@ -1,0 +1,334 @@
+//! Subcircuit windows: extraction of `C_sub` from a netlist and in-place
+//! resynthesis, as required by the paper's procedure (Section III-B).
+//!
+//! A [`Window`] captures a set of combinational gates together with its
+//! boundary nets. `C_dont = C_all − C_sub` is untouched: only the window's
+//! gates are removed and replaced by the remapped implementation, which
+//! re-drives exactly the original boundary output nets.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rsyn_netlist::{CellClass, Driver, GateId, NetId, Netlist};
+
+use crate::aig::{Aig, Lit};
+use crate::map::{MapError, MapOptions, Mapper};
+
+/// An extracted subcircuit: gates, boundary nets, and the captured logic.
+#[derive(Debug)]
+pub struct Window {
+    /// The window's combinational gates, in netlist topological order.
+    pub gates: Vec<GateId>,
+    /// Boundary input nets (driven outside the window), in discovery order.
+    pub inputs: Vec<NetId>,
+    /// Boundary output nets (driven inside, observed outside), in discovery
+    /// order.
+    pub outputs: Vec<NetId>,
+    aig: Aig,
+}
+
+impl Window {
+    /// Extracts the window spanned by `gate_set` from `nl`.
+    ///
+    /// Flip-flops in `gate_set` are ignored (the procedure never remaps
+    /// sequential cells); their boundary nets appear as window inputs and
+    /// outputs as appropriate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate id in `gate_set` does not exist.
+    pub fn extract(nl: &Netlist, gate_set: &[GateId]) -> Self {
+        let mut in_set: HashSet<GateId> = HashSet::new();
+        for &g in gate_set {
+            let gate = nl.gate(g).expect("window gate exists");
+            if nl.lib().cell(gate.cell).class == CellClass::Comb {
+                in_set.insert(g);
+            }
+        }
+
+        // Topological order of window gates (dependencies within the set).
+        let mut order = Vec::with_capacity(in_set.len());
+        {
+            let mut pending: HashMap<GateId, usize> = HashMap::new();
+            let mut ready = VecDeque::new();
+            let mut ids: Vec<GateId> = in_set.iter().copied().collect();
+            ids.sort();
+            for &g in &ids {
+                let gate = nl.gate(g).expect("live");
+                let mut n = 0;
+                for &i in &gate.inputs {
+                    if let Some(Driver::Gate(src, _)) = nl.net(i).driver {
+                        if in_set.contains(&src) {
+                            n += 1;
+                        }
+                    }
+                }
+                pending.insert(g, n);
+                if n == 0 {
+                    ready.push_back(g);
+                }
+            }
+            while let Some(g) = ready.pop_front() {
+                order.push(g);
+                let gate = nl.gate(g).expect("live");
+                for &o in &gate.outputs {
+                    for &(sink, _) in &nl.net(o).loads {
+                        if in_set.contains(&sink) {
+                            let p = pending.get_mut(&sink).expect("tracked");
+                            *p -= 1;
+                            if *p == 0 {
+                                ready.push_back(sink);
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(order.len(), in_set.len(), "window contains a combinational loop");
+        }
+
+        // Boundary discovery + AIG construction in one topological pass.
+        let mut aig = Aig::new();
+        let mut inputs: Vec<NetId> = Vec::new();
+        let mut net_lit: HashMap<NetId, Lit> = HashMap::new();
+        let resolve = |nl: &Netlist, aig: &mut Aig, net_lit: &mut HashMap<NetId, Lit>, inputs: &mut Vec<NetId>, net: NetId| -> Lit {
+            if let Some(&l) = net_lit.get(&net) {
+                return l;
+            }
+            let l = match nl.net(net).driver {
+                Some(Driver::Const(false)) => Lit::FALSE,
+                Some(Driver::Const(true)) => Lit::TRUE,
+                _ => {
+                    inputs.push(net);
+                    aig.add_pi()
+                }
+            };
+            net_lit.insert(net, l);
+            l
+        };
+        for &g in &order {
+            let gate = nl.gate(g).expect("live");
+            let cell = nl.lib().cell(gate.cell).clone();
+            let in_lits: Vec<Lit> = gate
+                .inputs
+                .iter()
+                .map(|&i| resolve(nl, &mut aig, &mut net_lit, &mut inputs, i))
+                .collect();
+            for (k, out) in cell.outputs.iter().enumerate() {
+                let lit = aig.build_function(out.function, &in_lits);
+                net_lit.insert(gate.outputs[k], lit);
+            }
+        }
+
+        // Boundary outputs: window-driven nets observed outside the window.
+        let mut outputs = Vec::new();
+        for &g in &order {
+            let gate = nl.gate(g).expect("live");
+            for &o in &gate.outputs {
+                let observed_outside = nl.primary_outputs().contains(&o)
+                    || nl.net(o).loads.iter().any(|&(sink, _)| !in_set.contains(&sink));
+                if observed_outside && !outputs.contains(&o) {
+                    outputs.push(o);
+                }
+            }
+        }
+        for &o in &outputs {
+            aig.add_po(net_lit[&o]);
+        }
+
+        Self { gates: order, inputs, outputs, aig }
+    }
+
+    /// The captured logic as an AIG (PIs correspond to `inputs`, POs to
+    /// `outputs`, in order).
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Replaces the window's gates in `nl` with a remapped implementation
+    /// restricted to `allowed` cells.
+    ///
+    /// Returns the newly created gate ids. On error the netlist may be left
+    /// with the window removed — clone the netlist first when the caller
+    /// needs rollback (the resynthesis procedure does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::IncompleteLibrary`] (checked before any mutation)
+    /// or a stitching error.
+    pub fn resynthesize(
+        &self,
+        nl: &mut Netlist,
+        allowed: &[rsyn_netlist::CellId],
+        options: &MapOptions,
+    ) -> Result<Vec<GateId>, MapError> {
+        let mapper = Mapper::new(nl.lib());
+        self.resynthesize_with(nl, &mapper, allowed, options)
+    }
+
+    /// Like [`Window::resynthesize`] but reuses a prebuilt [`Mapper`]
+    /// (building the match table is the expensive part).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Window::resynthesize`].
+    pub fn resynthesize_with(
+        &self,
+        nl: &mut Netlist,
+        mapper: &Mapper,
+        allowed: &[rsyn_netlist::CellId],
+        options: &MapOptions,
+    ) -> Result<Vec<GateId>, MapError> {
+        let mut mask = vec![false; nl.lib().len()];
+        for &c in allowed {
+            mask[c.index()] = true;
+        }
+        if !mapper.is_complete(&mask) {
+            return Err(MapError::IncompleteLibrary);
+        }
+        for &g in &self.gates {
+            nl.remove_gate(g);
+        }
+        let prefix = format!("rs{}", nl.gate_capacity());
+        mapper.map_into(&self.aig, &mask, options, nl, &self.inputs, &self.outputs, &prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsyn_netlist::{sim::simulate_one, Library, Netlist};
+
+    /// y = (a ^ b) | (c & d); z = !(c & d), built with XOR/AND/OR/NAND cells.
+    fn sample() -> Netlist {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("w", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let t0 = nl.add_named_net("t0");
+        let t1 = nl.add_named_net("t1");
+        let y = nl.add_named_net("y");
+        let z = nl.add_named_net("z");
+        let xor = lib.cell_id("XOR2X1").unwrap();
+        let and = lib.cell_id("AND2X2").unwrap();
+        let or = lib.cell_id("OR2X2").unwrap();
+        let inv = lib.cell_id("INVX1").unwrap();
+        nl.add_gate("u_xor", xor, &[a, b], &[t0]).unwrap();
+        nl.add_gate("u_and", and, &[c, d], &[t1]).unwrap();
+        nl.add_gate("u_or", or, &[t0, t1], &[y]).unwrap();
+        nl.add_gate("u_inv", inv, &[t1], &[z]).unwrap();
+        nl.mark_output(y);
+        nl.mark_output(z);
+        nl
+    }
+
+    fn ref_outputs(m: u64) -> (bool, bool) {
+        let a = m & 1 == 1;
+        let b = m >> 1 & 1 == 1;
+        let c = m >> 2 & 1 == 1;
+        let d = m >> 3 & 1 == 1;
+        ((a ^ b) | (c & d), !(c & d))
+    }
+
+    #[test]
+    fn extract_finds_boundaries() {
+        let nl = sample();
+        let g_xor = nl.find_gate("u_xor").unwrap();
+        let g_or = nl.find_gate("u_or").unwrap();
+        let w = Window::extract(&nl, &[g_xor, g_or]);
+        // Inputs: a, b (xor), t1 (driven by u_and outside window).
+        assert_eq!(w.inputs.len(), 3);
+        assert!(w.inputs.contains(&nl.find_net("t1").unwrap()));
+        // Outputs: y only — t0 is internal (consumed only by u_or).
+        assert_eq!(w.outputs, vec![nl.find_net("y").unwrap()]);
+        assert_eq!(w.gates.len(), 2);
+    }
+
+    #[test]
+    fn internal_net_feeding_outside_is_output() {
+        let nl = sample();
+        let g_and = nl.find_gate("u_and").unwrap();
+        let w = Window::extract(&nl, &[g_and]);
+        // t1 feeds u_or and u_inv, both outside the window.
+        assert_eq!(w.outputs, vec![nl.find_net("t1").unwrap()]);
+    }
+
+    #[test]
+    fn resynthesize_whole_circuit_preserves_function() {
+        let mut nl = sample();
+        let gates: Vec<GateId> = nl.gates().map(|(id, _)| id).collect();
+        let w = Window::extract(&nl, &gates);
+        let allowed = nl.lib().comb_cells();
+        let new_gates = w.resynthesize(&mut nl, &allowed, &MapOptions::area()).unwrap();
+        assert!(!new_gates.is_empty());
+        nl.validate().expect("valid after resynthesis");
+        let view = nl.comb_view().unwrap();
+        for m in 0..16u64 {
+            let pis: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let out = simulate_one(&nl, &view, &pis);
+            let (ry, rz) = ref_outputs(m);
+            assert_eq!((out[0], out[1]), (ry, rz), "m={m}");
+        }
+    }
+
+    #[test]
+    fn resynthesize_partial_window_preserves_function() {
+        let mut nl = sample();
+        let g_xor = nl.find_gate("u_xor").unwrap();
+        let g_or = nl.find_gate("u_or").unwrap();
+        let w = Window::extract(&nl, &[g_xor, g_or]);
+        // Ban XOR cells: the window must be rebuilt from NAND/NOR logic.
+        let lib = nl.lib().clone();
+        let allowed: Vec<_> = lib
+            .comb_cells()
+            .into_iter()
+            .filter(|&c| {
+                let n = &lib.cell(c).name;
+                n != "XOR2X1" && n != "XNOR2X1" && n != "OR2X2"
+            })
+            .collect();
+        w.resynthesize(&mut nl, &allowed, &MapOptions::area()).unwrap();
+        nl.validate().expect("valid");
+        assert!(nl.gates().all(|(_, g)| lib.cell(g.cell).name != "XOR2X1"));
+        // The untouched AND gate must still be there.
+        assert!(nl.find_gate("u_and").is_some());
+        let view = nl.comb_view().unwrap();
+        for m in 0..16u64 {
+            let pis: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let out = simulate_one(&nl, &view, &pis);
+            let (ry, rz) = ref_outputs(m);
+            assert_eq!((out[0], out[1]), (ry, rz), "m={m}");
+        }
+    }
+
+    #[test]
+    fn incomplete_subset_leaves_netlist_untouched() {
+        let mut nl = sample();
+        let gates: Vec<GateId> = nl.gates().map(|(id, _)| id).collect();
+        let w = Window::extract(&nl, &gates);
+        let lib = nl.lib().clone();
+        let buf_only = vec![lib.cell_id("BUFX2").unwrap()];
+        let before = nl.gate_count();
+        let err = w.resynthesize(&mut nl, &buf_only, &MapOptions::area()).unwrap_err();
+        assert_eq!(err, MapError::IncompleteLibrary);
+        assert_eq!(nl.gate_count(), before, "checked before mutation");
+    }
+
+    #[test]
+    fn flops_are_excluded_from_windows() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("s", lib.clone());
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q = nl.add_named_net("q");
+        let y = nl.add_named_net("y");
+        let dff = lib.cell_id("DFFPOSX1").unwrap();
+        let inv = lib.cell_id("INVX1").unwrap();
+        let g_ff = nl.add_gate("ff", dff, &[d, clk], &[q]).unwrap();
+        let g_inv = nl.add_gate("i", inv, &[q], &[y]).unwrap();
+        nl.mark_output(y);
+        let w = Window::extract(&nl, &[g_ff, g_inv]);
+        assert_eq!(w.gates, vec![g_inv]);
+        assert_eq!(w.inputs, vec![q]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the synthesis substrate: AIG algebra, window
+//! extraction/restitch equivalence, and restricted-mapping correctness.
+
+use proptest::prelude::*;
+use rsyn_logic::aig::{Aig, Lit};
+use rsyn_logic::map::MapOptions;
+use rsyn_logic::{Mapper, Window};
+use rsyn_netlist::{sim::simulate_one, Library, NetId, Netlist, TruthTable};
+
+fn random_netlist(seed: u64, gates: usize) -> Netlist {
+    let lib = Library::osu018();
+    let mut nl = Netlist::new("rnd", lib.clone());
+    let mut nets: Vec<NetId> = (0..6).map(|i| nl.add_input(format!("i{i}"))).collect();
+    let names = ["NAND2X1", "NOR2X1", "XOR2X1", "AOI22X1", "OAI21X1", "MUX2X1"];
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for k in 0..gates {
+        let cell = lib.cell_id(names[(next() % names.len() as u64) as usize]).unwrap();
+        let c = lib.cell(cell);
+        let ins: Vec<NetId> =
+            (0..c.input_count()).map(|_| nets[(next() % nets.len() as u64) as usize]).collect();
+        let out = nl.add_net();
+        nl.add_gate(format!("g{k}"), cell, &ins, &[out]).unwrap();
+        nets.push(out);
+    }
+    for &n in nets.iter().rev().take(3) {
+        nl.mark_output(n);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The AIG's and/or/xor/mux builders satisfy boolean identities under
+    /// simulation.
+    #[test]
+    fn aig_identities(a_val in any::<u64>(), b_val in any::<u64>(), c_val in any::<u64>()) {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let and_ab = g.and(a, b);
+        let or_ab = g.or(a, b);
+        let xor_ab = g.xor(a, b);
+        let mux = g.mux(c, a, b);
+        // De Morgan inside the strash: !(a&b) == (!a | !b)
+        let demorgan = g.or(!a, !b);
+        let vals = g.simulate(&[a_val, b_val, c_val]);
+        let v = |l: Lit| Aig::lit_value(l, &vals);
+        prop_assert_eq!(v(and_ab), a_val & b_val);
+        prop_assert_eq!(v(or_ab), a_val | b_val);
+        prop_assert_eq!(v(xor_ab), a_val ^ b_val);
+        prop_assert_eq!(v(mux), (c_val & a_val) | (!c_val & b_val));
+        prop_assert_eq!(v(!and_ab), v(demorgan));
+    }
+
+    /// `build_function` then `simulate` reproduces any 4-input truth table.
+    #[test]
+    fn build_function_total(bits in 0u64..=0xFFFF) {
+        let tt = TruthTable::new(4, bits);
+        let mut g = Aig::new();
+        let pis: Vec<Lit> = (0..4).map(|_| g.add_pi()).collect();
+        let y = g.build_function(tt, &pis);
+        let vals = g.simulate(&[0xAAAA, 0xCCCC, 0xF0F0, 0xFF00]);
+        prop_assert_eq!(Aig::lit_value(y, &vals) & 0xFFFF, tt.bits());
+    }
+
+    /// Resynthesizing a random window of a random netlist preserves the
+    /// whole-circuit function, for both the full and a restricted library.
+    #[test]
+    fn window_resynthesis_equivalence(seed in 0u64..60, restricted in any::<bool>()) {
+        let nl = random_netlist(seed, 18);
+        nl.validate().unwrap();
+        let lib = nl.lib().clone();
+        let mapper = Mapper::new(&lib);
+        // Pick a pseudo-random half of the gates as the window.
+        let window_gates: Vec<_> = nl
+            .gates()
+            .map(|(id, _)| id)
+            .enumerate()
+            .filter(|(k, _)| (seed >> (k % 48)) & 1 == 0)
+            .map(|(_, id)| id)
+            .collect();
+        if window_gates.is_empty() {
+            return Ok(());
+        }
+        let allowed: Vec<_> = if restricted {
+            lib.comb_cells()
+                .into_iter()
+                .filter(|&c| {
+                    let n = &lib.cell(c).name;
+                    n != "XOR2X1" && n != "XNOR2X1" && n != "MUX2X1" && n != "FAX1" && n != "AOI22X1"
+                })
+                .collect()
+        } else {
+            lib.comb_cells()
+        };
+        let mut resyn = nl.clone();
+        let w = Window::extract(&resyn, &window_gates);
+        w.resynthesize_with(&mut resyn, &mapper, &allowed, &MapOptions::area()).unwrap();
+        resyn.validate().unwrap();
+        if restricted {
+            for (_, g) in resyn.gates() {
+                let name = &lib.cell(g.cell).name;
+                // Untouched gates may keep banned types; new gates (named
+                // rs*) must not.
+                if g.name.starts_with("rs") {
+                    prop_assert!(
+                        !["XOR2X1", "XNOR2X1", "MUX2X1", "FAX1", "AOI22X1"].contains(&name.as_str()),
+                        "banned cell {} in replacement",
+                        name
+                    );
+                }
+            }
+        }
+        let va = nl.comb_view().unwrap();
+        let vb = resyn.comb_view().unwrap();
+        let mut state = seed.wrapping_mul(0xABCD_EF12) | 1;
+        for _ in 0..24 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let pis: Vec<bool> = (0..va.pis.len()).map(|i| (state >> (i % 61)) & 1 == 1).collect();
+            prop_assert_eq!(simulate_one(&nl, &va, &pis), simulate_one(&resyn, &vb, &pis));
+        }
+    }
+}

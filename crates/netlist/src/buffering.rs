@@ -1,0 +1,148 @@
+//! High-fanout net buffering.
+//!
+//! Physical design flows cap net fanout by inserting buffer trees; the
+//! incremental re-placement after resynthesis benefits from the same
+//! hygiene when a replacement concentrates many sinks on one driver. The
+//! transformation preserves the circuit function (buffers are identity) and
+//! bounds every net's fanout by the requested limit.
+
+use crate::ids::{GateId, NetId};
+use crate::netlist::Netlist;
+use crate::validate::NetlistError;
+
+/// Splits every net with more than `max_fanout` sinks by inserting buffer
+/// cells (`BUFX4`, falling back to `BUFX2`), moving sink groups onto the
+/// buffer outputs. Returns the inserted buffer gates.
+///
+/// Primary-output markings stay on the original net (a PO is an observation
+/// point, not a sink pin).
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+///
+/// # Panics
+///
+/// Panics if the library has no buffer cell or `max_fanout == 0`.
+pub fn buffer_high_fanout(nl: &mut Netlist, max_fanout: usize) -> Result<Vec<GateId>, NetlistError> {
+    assert!(max_fanout > 0, "fanout limit must be positive");
+    let lib = nl.lib().clone();
+    let buf = lib
+        .cell_id("BUFX4")
+        .or_else(|| lib.cell_id("BUFX2"))
+        .expect("library has a buffer cell");
+    let mut inserted = Vec::new();
+    // Iterate until a fixed point: buffer outputs themselves may still be
+    // over the limit for extreme fanouts, forming a tree.
+    loop {
+        let victims: Vec<NetId> = nl
+            .nets()
+            .filter(|(_, n)| n.driver.is_some() && n.loads.len() > max_fanout)
+            .map(|(id, _)| id)
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        for net in victims {
+            // The buffers themselves load the original net, so reserve room
+            // for them: with `b` buffers the net keeps `max_fanout − b`
+            // original sinks, and the buffers fan out to the rest. Choose
+            // the smallest `b ≥ 1` that makes the arithmetic close (deeper
+            // trees emerge from the outer fixed-point loop).
+            let loads = nl.net(net).loads.clone();
+            let total = loads.len();
+            let mut buffers = 1usize;
+            while buffers < max_fanout && (max_fanout - buffers) + buffers * max_fanout < total {
+                buffers += 1;
+            }
+            let keep_count = max_fanout - buffers;
+            let moved = &loads[keep_count.min(total)..];
+            let per_group = moved.len().div_ceil(buffers).max(1);
+            let mut groups: Vec<Vec<(GateId, u8)>> =
+                moved.chunks(per_group).map(<[(GateId, u8)]>::to_vec).collect();
+            if groups.is_empty() {
+                continue;
+            }
+            // Rewire: each moved sink is reattached to a fresh buffer
+            // output (re-adding a gate atomically moves all its pins).
+            for (k, group) in groups.drain(..).enumerate() {
+                let out = nl.add_named_net(format!("{}_buf{}", nl.net(net).name, k));
+                let name = format!("bufh_{}_{}", net.index(), k);
+                let b = nl.add_gate(name, buf, &[net], &[out])?;
+                inserted.push(b);
+                for (g, pin) in group {
+                    attach_pin(nl, out, g, pin);
+                }
+            }
+        }
+    }
+    Ok(inserted)
+}
+
+fn attach_pin(nl: &mut Netlist, new_net: NetId, gate: GateId, pin: u8) {
+    let old = nl.gate(gate).expect("live sink").clone();
+    nl.remove_gate(gate);
+    let mut inputs = old.inputs.clone();
+    inputs[pin as usize] = new_net;
+    // Re-adding reuses the freed slot, preserving the gate id.
+    let readded = nl
+        .add_gate(old.name.clone(), old.cell, &inputs, &old.outputs)
+        .expect("re-adding a removed gate cannot fail");
+    debug_assert_eq!(readded, gate);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+    use crate::sim::simulate_one;
+
+    fn fanout_heavy(n_sinks: usize) -> Netlist {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("f", lib.clone());
+        let a = nl.add_input("a");
+        let src = nl.add_named_net("src");
+        let inv = lib.cell_id("INVX1").unwrap();
+        nl.add_gate("drv", inv, &[a], &[src]).unwrap();
+        for i in 0..n_sinks {
+            let y = nl.add_named_net(format!("y{i}"));
+            nl.add_gate(format!("s{i}"), inv, &[src], &[y]).unwrap();
+            nl.mark_output(y);
+        }
+        nl
+    }
+
+    #[test]
+    fn fanout_is_bounded_after_buffering() {
+        let mut nl = fanout_heavy(23);
+        let inserted = buffer_high_fanout(&mut nl, 4).unwrap();
+        assert!(!inserted.is_empty());
+        for (_, net) in nl.nets() {
+            assert!(net.loads.len() <= 4, "net {} fanout {}", net.name, net.loads.len());
+        }
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn function_is_preserved() {
+        let mut nl = fanout_heavy(17);
+        let reference = fanout_heavy(17);
+        buffer_high_fanout(&mut nl, 3).unwrap();
+        let va = reference.comb_view().unwrap();
+        let vb = nl.comb_view().unwrap();
+        for value in [false, true] {
+            let oa = simulate_one(&reference, &va, &[value]);
+            let ob = simulate_one(&nl, &vb, &[value]);
+            assert_eq!(oa, ob, "input {value}");
+        }
+    }
+
+    #[test]
+    fn small_fanouts_untouched() {
+        let mut nl = fanout_heavy(3);
+        let before = nl.gate_count();
+        let inserted = buffer_high_fanout(&mut nl, 8).unwrap();
+        assert!(inserted.is_empty());
+        assert_eq!(nl.gate_count(), before);
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed index newtypes used across the workspace.
+//!
+//! All three ids are plain `u32` indices into arenas; the newtypes prevent a
+//! [`GateId`] being used where a [`NetId`] is expected (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw arena index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a standard cell within a [`crate::Library`].
+    CellId,
+    "c"
+);
+id_type!(
+    /// Index of a gate (cell instance) within a [`crate::Netlist`].
+    GateId,
+    "g"
+);
+id_type!(
+    /// Index of a net (wire) within a [`crate::Netlist`].
+    NetId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let g = GateId::from_index(42);
+        assert_eq!(g.index(), 42);
+        assert_eq!(usize::from(g), 42);
+    }
+
+    #[test]
+    fn debug_formats_with_prefix() {
+        assert_eq!(format!("{:?}", GateId(7)), "g7");
+        assert_eq!(format!("{:?}", NetId(3)), "n3");
+        assert_eq!(format!("{}", CellId(1)), "c1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId(1) < NetId(2));
+        assert_eq!(GateId::default(), GateId(0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Liberty (`.lib`) export of the standard-cell library.
+//!
+//! Emits the industry-standard subset most tools read: cell area, pin
+//! directions and capacitances, boolean `function` attributes (Liberty
+//! syntax), linear timing coefficients, and leakage. This lets the built-in
+//! library be inspected with ordinary EDA tooling and documents the exact
+//! models the reproduction uses.
+
+use std::fmt::Write as _;
+
+use crate::cell::CellClass;
+use crate::library::Library;
+use crate::tt::TruthTable;
+
+/// Renders the library in Liberty syntax.
+pub fn write_liberty(lib: &Library, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "library ({name}) {{");
+    let _ = writeln!(s, "  delay_model : table_lookup;");
+    let _ = writeln!(s, "  time_unit : \"1ps\";");
+    let _ = writeln!(s, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(s, "  leakage_power_unit : \"1nW\";");
+    for (_, cell) in lib.iter() {
+        let _ = writeln!(s, "  cell ({}) {{", cell.name);
+        let _ = writeln!(s, "    area : {:.3};", cell.area);
+        let _ = writeln!(s, "    cell_leakage_power : {:.3};", cell.leakage);
+        if cell.class == CellClass::Flop {
+            let _ = writeln!(s, "    ff (IQ, IQN) {{");
+            let _ = writeln!(s, "      next_state : \"{}\";", cell.inputs[0]);
+            let _ = writeln!(s, "      clocked_on : \"{}\";", cell.inputs[1]);
+            let _ = writeln!(s, "    }}");
+        }
+        for pin in &cell.inputs {
+            let _ = writeln!(s, "    pin ({pin}) {{");
+            let _ = writeln!(s, "      direction : input;");
+            let _ = writeln!(s, "      capacitance : {:.3};", cell.input_cap);
+            if cell.class == CellClass::Flop && pin == "CLK" {
+                let _ = writeln!(s, "      clock : true;");
+            }
+            let _ = writeln!(s, "    }}");
+        }
+        for out in &cell.outputs {
+            let _ = writeln!(s, "    pin ({}) {{", out.name);
+            let _ = writeln!(s, "      direction : output;");
+            let function = if cell.class == CellClass::Flop {
+                "IQ".to_string()
+            } else {
+                liberty_function(out.function, &cell.inputs)
+            };
+            let _ = writeln!(s, "      function : \"{function}\";");
+            let _ = writeln!(
+                s,
+                "      timing () {{ intrinsic_rise : {:.1}; intrinsic_fall : {:.1}; \
+                 rise_resistance : {:.3}; fall_resistance : {:.3}; }}",
+                cell.intrinsic_delay, cell.intrinsic_delay, cell.delay_slope, cell.delay_slope
+            );
+            let _ = writeln!(s, "    }}");
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders a truth table as a Liberty sum-of-products expression over the
+/// given pin names (`+` = OR, `*` = AND, `!` = NOT).
+pub fn liberty_function(tt: TruthTable, pins: &[String]) -> String {
+    let n = tt.input_count();
+    if tt.is_constant() {
+        return if tt.bits() == 0 { "0".to_string() } else { "1".to_string() };
+    }
+    let mut terms = Vec::new();
+    for m in 0..(1u64 << n) {
+        if tt.eval(m) {
+            let lits: Vec<String> = (0..n)
+                .map(|i| {
+                    if (m >> i) & 1 == 1 {
+                        pins[i].clone()
+                    } else {
+                        format!("!{}", pins[i])
+                    }
+                })
+                .collect();
+            terms.push(format!("({})", lits.join("*")));
+        }
+    }
+    terms.join("+")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liberty_contains_every_cell() {
+        let lib = Library::osu018();
+        let text = write_liberty(&lib, "osu018_rsyn");
+        for (_, cell) in lib.iter() {
+            assert!(text.contains(&format!("cell ({})", cell.name)), "{} missing", cell.name);
+        }
+        assert!(text.contains("library (osu018_rsyn)"));
+        assert!(text.contains("ff (IQ, IQN)"), "flop group present");
+    }
+
+    #[test]
+    fn function_expressions_are_sop() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let and = TruthTable::new(2, a.bits() & b.bits());
+        let pins = vec!["A".to_string(), "B".to_string()];
+        assert_eq!(liberty_function(and, &pins), "(A*B)");
+        let nand = and.not();
+        let f = liberty_function(nand, &pins);
+        assert!(f.contains("(!A*!B)") && f.contains('+'));
+        assert_eq!(liberty_function(TruthTable::one(1), &pins[..1].to_vec()), "1");
+    }
+
+    #[test]
+    fn balanced_braces() {
+        let lib = Library::osu018();
+        let text = write_liberty(&lib, "t");
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

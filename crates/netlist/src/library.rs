@@ -1,0 +1,634 @@
+//! The built-in 21-cell standard-cell library.
+//!
+//! Modelled after the OSU (TSMC 0.18 µm) library the paper uses: the same
+//! cell families (inverters/buffers at several drive strengths, NAND/NOR,
+//! AND/OR, XOR/XNOR, AOI/OAI complex gates, a 2:1 mux, a full adder and a
+//! positive-edge D flip-flop), with representative area/timing/power
+//! attributes. Exactly 21 cells, as in the paper.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::cell::{Cell, CellClass, CellOutput, Sig, SpNet, Stage, Transistor};
+use crate::ids::CellId;
+use crate::tt::TruthTable;
+
+/// An immutable standard-cell library.
+///
+/// Libraries are shared between netlists via [`Arc`]; see
+/// [`Library::osu018`] for the built-in library.
+#[derive(Debug)]
+pub struct Library {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+    flop: Option<CellId>,
+}
+
+impl Library {
+    /// Builds a library from a list of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two cells share a name or if a combinational cell's stage
+    /// structure does not implement its declared truth tables.
+    pub fn from_cells(cells: Vec<Cell>) -> Arc<Self> {
+        let mut by_name = HashMap::new();
+        let mut flop = None;
+        for (i, cell) in cells.iter().enumerate() {
+            assert!(
+                cell.structure_matches_function(),
+                "cell {} stage structure does not match its truth table",
+                cell.name
+            );
+            let prev = by_name.insert(cell.name.clone(), CellId::from_index(i));
+            assert!(prev.is_none(), "duplicate cell name {}", cell.name);
+            if cell.class == CellClass::Flop && flop.is_none() {
+                flop = Some(CellId::from_index(i));
+            }
+        }
+        Arc::new(Self { cells, by_name, flop })
+    }
+
+    /// The built-in 21-cell library (OSU 0.18 µm flavoured).
+    pub fn osu018() -> Arc<Self> {
+        Self::from_cells(osu018_cells())
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the library has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Returns the cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Looks up a cell id by name.
+    pub fn cell_id(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId::from_index(i), c))
+    }
+
+    /// The library's D flip-flop, if any.
+    pub fn flop_id(&self) -> Option<CellId> {
+        self.flop
+    }
+
+    /// All combinational cell ids.
+    pub fn comb_cells(&self) -> Vec<CellId> {
+        self.iter()
+            .filter(|(_, c)| c.class == CellClass::Comb)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Incremental transistor-id allocator used while describing pull-down
+/// networks.
+struct NetBuilder {
+    next: u16,
+}
+
+impl NetBuilder {
+    fn new() -> Self {
+        Self { next: 0 }
+    }
+    fn t(&mut self, gate: Sig) -> SpNet {
+        let id = self.next;
+        self.next += 1;
+        SpNet::T(Transistor { id, gate })
+    }
+    fn pin(&mut self, p: u8) -> SpNet {
+        self.t(Sig::Pin(p))
+    }
+    fn npin(&mut self, p: u8) -> SpNet {
+        self.t(Sig::NotPin(p))
+    }
+    fn node(&mut self, k: u8) -> SpNet {
+        self.t(Sig::Node(k))
+    }
+}
+
+fn ser(children: Vec<SpNet>) -> SpNet {
+    SpNet::Series(children)
+}
+fn par(children: Vec<SpNet>) -> SpNet {
+    SpNet::Parallel(children)
+}
+
+struct CellSpec {
+    name: &'static str,
+    inputs: &'static [&'static str],
+    /// (output name, function, stage index)
+    outputs: Vec<(&'static str, TruthTable, u8)>,
+    stages: Vec<Stage>,
+    class: CellClass,
+    /// width in placement sites (site = 2.4 µm, row height = 10 µm)
+    width_sites: u32,
+    transistors: u16,
+    input_cap: f64,
+    intrinsic_delay: f64,
+    delay_slope: f64,
+}
+
+fn build(spec: CellSpec) -> Cell {
+    let area = spec.width_sites as f64 * 2.4 * 10.0;
+    // Pass-gate-structured cells burn noticeably more internal energy per
+    // input event than static CMOS (transmission-gate double transitions,
+    // slow internal slopes) — typical library data shows 1.5–2×.
+    let pass_gate = matches!(spec.name, "XOR2X1" | "XNOR2X1" | "MUX2X1" | "FAX1");
+    let energy_factor = if pass_gate { 1.6 } else { 1.0 };
+    Cell {
+        name: spec.name.to_string(),
+        inputs: spec.inputs.iter().map(|s| s.to_string()).collect(),
+        outputs: spec
+            .outputs
+            .into_iter()
+            .map(|(name, function, stage)| CellOutput { name: name.to_string(), function, stage })
+            .collect(),
+        class: spec.class,
+        stages: spec.stages,
+        area,
+        input_cap: spec.input_cap,
+        intrinsic_delay: spec.intrinsic_delay,
+        delay_slope: spec.delay_slope,
+        leakage: 0.9 * spec.transistors as f64,
+        // Internal switching energy scales with the transistor count (the
+        // number of internal nodes that toggle), not the footprint; the
+        // pass-gate factor reflects their higher per-event energy.
+        switch_energy: 1.2 * spec.transistors as f64 * energy_factor,
+        transistors: spec.transistors,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn osu018_cells() -> Vec<Cell> {
+    let v = |n: usize, i: usize| TruthTable::var(n, i);
+    let mut cells = Vec::new();
+
+    // --- Inverters at four drive strengths -------------------------------
+    for (name, width, slope, cap) in [
+        ("INVX1", 1u32, 6.0, 2.0),
+        ("INVX2", 1, 3.2, 3.6),
+        ("INVX4", 2, 1.7, 6.8),
+        ("INVX8", 3, 0.9, 13.0),
+    ] {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage { pulldown: b.pin(0) }];
+        cells.push(build(CellSpec {
+            name,
+            inputs: &["A"],
+            outputs: vec![("Y", v(1, 0).not(), 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: width,
+            transistors: 2,
+            input_cap: cap,
+            intrinsic_delay: 18.0,
+            delay_slope: slope,
+        }));
+    }
+
+    // --- Buffers ----------------------------------------------------------
+    for (name, width, slope, cap) in [("BUFX2", 2u32, 2.8, 2.2), ("BUFX4", 2, 1.5, 2.4)] {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage { pulldown: b.pin(0) }, Stage { pulldown: b.node(0) }];
+        cells.push(build(CellSpec {
+            name,
+            inputs: &["A"],
+            outputs: vec![("Y", v(1, 0), 1)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: width,
+            transistors: 4,
+            input_cap: cap,
+            intrinsic_delay: 40.0,
+            delay_slope: slope,
+        }));
+    }
+
+    // --- NAND / NOR -------------------------------------------------------
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage { pulldown: ser(vec![b.pin(0), b.pin(1)]) }];
+        let f = TruthTable::new(2, !(v(2, 0).bits() & v(2, 1).bits()));
+        cells.push(build(CellSpec {
+            name: "NAND2X1",
+            inputs: &["A", "B"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 2,
+            transistors: 4,
+            input_cap: 2.1,
+            intrinsic_delay: 28.0,
+            delay_slope: 6.5,
+        }));
+    }
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage { pulldown: ser(vec![b.pin(0), b.pin(1), b.pin(2)]) }];
+        let f = TruthTable::new(3, !(v(3, 0).bits() & v(3, 1).bits() & v(3, 2).bits()));
+        cells.push(build(CellSpec {
+            name: "NAND3X1",
+            inputs: &["A", "B", "C"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 3,
+            transistors: 6,
+            input_cap: 2.2,
+            intrinsic_delay: 36.0,
+            delay_slope: 7.5,
+        }));
+    }
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage { pulldown: par(vec![b.pin(0), b.pin(1)]) }];
+        let f = TruthTable::new(2, !(v(2, 0).bits() | v(2, 1).bits()));
+        cells.push(build(CellSpec {
+            name: "NOR2X1",
+            inputs: &["A", "B"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 2,
+            transistors: 4,
+            input_cap: 2.1,
+            intrinsic_delay: 32.0,
+            delay_slope: 8.0,
+        }));
+    }
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage { pulldown: par(vec![b.pin(0), b.pin(1), b.pin(2)]) }];
+        let f = TruthTable::new(3, !(v(3, 0).bits() | v(3, 1).bits() | v(3, 2).bits()));
+        cells.push(build(CellSpec {
+            name: "NOR3X1",
+            inputs: &["A", "B", "C"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 3,
+            transistors: 6,
+            input_cap: 2.2,
+            intrinsic_delay: 44.0,
+            delay_slope: 9.5,
+        }));
+    }
+
+    // --- AND / OR (nand/nor + inverter stage) ------------------------------
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![
+            Stage { pulldown: ser(vec![b.pin(0), b.pin(1)]) },
+            Stage { pulldown: b.node(0) },
+        ];
+        let f = TruthTable::new(2, v(2, 0).bits() & v(2, 1).bits());
+        cells.push(build(CellSpec {
+            name: "AND2X2",
+            inputs: &["A", "B"],
+            outputs: vec![("Y", f, 1)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 3,
+            transistors: 6,
+            input_cap: 2.1,
+            intrinsic_delay: 52.0,
+            delay_slope: 3.0,
+        }));
+    }
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![
+            Stage { pulldown: par(vec![b.pin(0), b.pin(1)]) },
+            Stage { pulldown: b.node(0) },
+        ];
+        let f = TruthTable::new(2, v(2, 0).bits() | v(2, 1).bits());
+        cells.push(build(CellSpec {
+            name: "OR2X2",
+            inputs: &["A", "B"],
+            outputs: vec![("Y", f, 1)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 3,
+            transistors: 6,
+            input_cap: 2.1,
+            intrinsic_delay: 56.0,
+            delay_slope: 3.0,
+        }));
+    }
+
+    // --- XOR / XNOR (static-CMOS equivalents of the pass-gate originals) ---
+    {
+        let mut b = NetBuilder::new();
+        // pull-down conducts on XNOR -> node = XOR
+        let stages = vec![Stage {
+            pulldown: par(vec![ser(vec![b.pin(0), b.pin(1)]), ser(vec![b.npin(0), b.npin(1)])]),
+        }];
+        let f = TruthTable::new(2, v(2, 0).bits() ^ v(2, 1).bits());
+        cells.push(build(CellSpec {
+            name: "XOR2X1",
+            inputs: &["A", "B"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 5,
+            transistors: 10,
+            input_cap: 4.2,
+            intrinsic_delay: 64.0,
+            delay_slope: 7.0,
+        }));
+    }
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage {
+            pulldown: par(vec![ser(vec![b.pin(0), b.npin(1)]), ser(vec![b.npin(0), b.pin(1)])]),
+        }];
+        let f = TruthTable::new(2, !(v(2, 0).bits() ^ v(2, 1).bits()));
+        cells.push(build(CellSpec {
+            name: "XNOR2X1",
+            inputs: &["A", "B"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 5,
+            transistors: 10,
+            input_cap: 4.2,
+            intrinsic_delay: 64.0,
+            delay_slope: 7.0,
+        }));
+    }
+
+    // --- AOI / OAI complex gates -------------------------------------------
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage {
+            pulldown: par(vec![ser(vec![b.pin(0), b.pin(1)]), b.pin(2)]),
+        }];
+        let f = TruthTable::new(3, !((v(3, 0).bits() & v(3, 1).bits()) | v(3, 2).bits()));
+        cells.push(build(CellSpec {
+            name: "AOI21X1",
+            inputs: &["A", "B", "C"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 3,
+            transistors: 6,
+            input_cap: 2.3,
+            intrinsic_delay: 42.0,
+            delay_slope: 8.5,
+        }));
+    }
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage {
+            pulldown: par(vec![ser(vec![b.pin(0), b.pin(1)]), ser(vec![b.pin(2), b.pin(3)])]),
+        }];
+        let f = TruthTable::new(
+            4,
+            !((v(4, 0).bits() & v(4, 1).bits()) | (v(4, 2).bits() & v(4, 3).bits())),
+        );
+        cells.push(build(CellSpec {
+            name: "AOI22X1",
+            inputs: &["A", "B", "C", "D"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 4,
+            transistors: 8,
+            input_cap: 2.4,
+            intrinsic_delay: 50.0,
+            delay_slope: 9.0,
+        }));
+    }
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage {
+            pulldown: ser(vec![par(vec![b.pin(0), b.pin(1)]), b.pin(2)]),
+        }];
+        let f = TruthTable::new(3, !((v(3, 0).bits() | v(3, 1).bits()) & v(3, 2).bits()));
+        cells.push(build(CellSpec {
+            name: "OAI21X1",
+            inputs: &["A", "B", "C"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 3,
+            transistors: 6,
+            input_cap: 2.3,
+            intrinsic_delay: 42.0,
+            delay_slope: 8.5,
+        }));
+    }
+    {
+        let mut b = NetBuilder::new();
+        let stages = vec![Stage {
+            pulldown: ser(vec![par(vec![b.pin(0), b.pin(1)]), par(vec![b.pin(2), b.pin(3)])]),
+        }];
+        let f = TruthTable::new(
+            4,
+            !((v(4, 0).bits() | v(4, 1).bits()) & (v(4, 2).bits() | v(4, 3).bits())),
+        );
+        cells.push(build(CellSpec {
+            name: "OAI22X1",
+            inputs: &["A", "B", "C", "D"],
+            outputs: vec![("Y", f, 0)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 4,
+            transistors: 8,
+            input_cap: 2.4,
+            intrinsic_delay: 50.0,
+            delay_slope: 9.0,
+        }));
+    }
+
+    // --- 2:1 mux ------------------------------------------------------------
+    {
+        let mut b = NetBuilder::new();
+        // inputs: A (sel=0), B (sel=1), S. node0 = !(mux), node1 = mux.
+        let stages = vec![
+            Stage { pulldown: par(vec![ser(vec![b.pin(2), b.pin(1)]), ser(vec![b.npin(2), b.pin(0)])]) },
+            Stage { pulldown: b.node(0) },
+        ];
+        let a = v(3, 0).bits();
+        let bb = v(3, 1).bits();
+        let s = v(3, 2).bits();
+        let f = TruthTable::new(3, (s & bb) | (!s & a));
+        cells.push(build(CellSpec {
+            name: "MUX2X1",
+            inputs: &["A", "B", "S"],
+            outputs: vec![("Y", f, 1)],
+            stages,
+            class: CellClass::Comb,
+            width_sites: 5,
+            transistors: 12,
+            input_cap: 2.8,
+            intrinsic_delay: 66.0,
+            delay_slope: 4.0,
+        }));
+    }
+
+    // --- Full adder (mirror-adder structure) ---------------------------------
+    {
+        let mut b = NetBuilder::new();
+        let a = v(3, 0).bits();
+        let bb = v(3, 1).bits();
+        let c = v(3, 2).bits();
+        let maj = (a & bb) | (c & (a | bb));
+        let parity = a ^ bb ^ c;
+        // stage0: cout_bar  (pull-down = majority)
+        let s0 = Stage {
+            pulldown: par(vec![
+                ser(vec![b.pin(0), b.pin(1)]),
+                ser(vec![b.pin(2), par(vec![b.pin(0), b.pin(1)])]),
+            ]),
+        };
+        // stage1: sum_bar (pull-down = parity, mirror structure using cout_bar)
+        let s1 = Stage {
+            pulldown: par(vec![
+                ser(vec![par(vec![b.pin(0), b.pin(1), b.pin(2)]), b.node(0)]),
+                ser(vec![b.pin(0), b.pin(1), b.pin(2)]),
+            ]),
+        };
+        // stage2: sum, stage3: cout
+        let s2 = Stage { pulldown: b.node(1) };
+        let s3 = Stage { pulldown: b.node(0) };
+        cells.push(build(CellSpec {
+            name: "FAX1",
+            inputs: &["A", "B", "C"],
+            outputs: vec![
+                ("YS", TruthTable::new(3, parity), 2),
+                ("YC", TruthTable::new(3, maj), 3),
+            ],
+            stages: vec![s0, s1, s2, s3],
+            class: CellClass::Comb,
+            width_sites: 10,
+            transistors: 28,
+            input_cap: 5.0,
+            intrinsic_delay: 96.0,
+            delay_slope: 4.5,
+        }));
+    }
+
+    // --- D flip-flop -----------------------------------------------------------
+    {
+        let mut b = NetBuilder::new();
+        // Master/slave simplified to two inverting stages for internal-defect
+        // modelling; the clock network is not fault-modelled (clock faults are
+        // out of the paper's scope).
+        let stages = vec![Stage { pulldown: b.pin(0) }, Stage { pulldown: b.node(0) }];
+        let f = TruthTable::var(2, 0); // Q follows D (combinational view)
+        cells.push(build(CellSpec {
+            name: "DFFPOSX1",
+            inputs: &["D", "CLK"],
+            outputs: vec![("Q", f, 1)],
+            stages,
+            class: CellClass::Flop,
+            width_sites: 8,
+            transistors: 20,
+            input_cap: 2.6,
+            intrinsic_delay: 120.0,
+            delay_slope: 3.5,
+        }));
+    }
+
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_exactly_21_cells() {
+        let lib = Library::osu018();
+        assert_eq!(lib.len(), 21);
+    }
+
+    #[test]
+    fn all_structures_match_functions() {
+        // `from_cells` already asserts this; the test documents the property.
+        let lib = Library::osu018();
+        for (_, cell) in lib.iter() {
+            assert!(cell.structure_matches_function(), "cell {}", cell.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let lib = Library::osu018();
+        let id = lib.cell_id("AOI22X1").expect("AOI22X1 present");
+        assert_eq!(lib.cell(id).name, "AOI22X1");
+        assert!(lib.cell_id("NOSUCH").is_none());
+    }
+
+    #[test]
+    fn flop_is_registered() {
+        let lib = Library::osu018();
+        let flop = lib.flop_id().expect("library has a flop");
+        assert_eq!(lib.cell(flop).name, "DFFPOSX1");
+        assert_eq!(lib.cell(flop).class, CellClass::Flop);
+    }
+
+    #[test]
+    fn comb_cells_excludes_flop() {
+        let lib = Library::osu018();
+        let comb = lib.comb_cells();
+        assert_eq!(comb.len(), 20);
+        assert!(comb.iter().all(|&id| lib.cell(id).class == CellClass::Comb));
+    }
+
+    #[test]
+    fn fax1_functions() {
+        let lib = Library::osu018();
+        let fa = lib.cell(lib.cell_id("FAX1").unwrap());
+        assert_eq!(fa.output_count(), 2);
+        let ys = &fa.outputs[fa.output_index("YS").unwrap()];
+        let yc = &fa.outputs[fa.output_index("YC").unwrap()];
+        for m in 0..8u64 {
+            let a = m & 1;
+            let b = (m >> 1) & 1;
+            let c = (m >> 2) & 1;
+            assert_eq!(ys.function.eval(m), (a ^ b ^ c) == 1, "sum m={m}");
+            assert_eq!(yc.function.eval(m), (a & b) | (c & (a | b)) == 1, "carry m={m}");
+        }
+    }
+
+    #[test]
+    fn inverter_drives_have_decreasing_slope() {
+        let lib = Library::osu018();
+        let slopes: Vec<f64> = ["INVX1", "INVX2", "INVX4", "INVX8"]
+            .iter()
+            .map(|n| lib.cell(lib.cell_id(n).unwrap()).delay_slope)
+            .collect();
+        assert!(slopes.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn bigger_cells_have_more_transistors() {
+        let lib = Library::osu018();
+        let t = |n: &str| lib.cell(lib.cell_id(n).unwrap()).transistors;
+        assert!(t("FAX1") > t("AOI22X1"));
+        assert!(t("AOI22X1") > t("NAND2X1"));
+        assert!(t("NAND2X1") > t("INVX1"));
+    }
+}

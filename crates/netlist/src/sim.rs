@@ -1,0 +1,167 @@
+//! 64-way parallel logic simulation.
+//!
+//! [`ParallelSim`] evaluates the combinational view of a netlist for 64
+//! input vectors at once (one per bit lane). It is used for good-machine
+//! simulation during ATPG's random phase, for switching-activity estimation
+//! in the power model, and as a reference model in tests.
+
+use crate::ids::NetId;
+use crate::netlist::{CombView, Driver, Netlist};
+
+/// A reusable 64-lane parallel simulator for one netlist + view.
+#[derive(Debug)]
+pub struct ParallelSim<'a> {
+    nl: &'a Netlist,
+    view: &'a CombView,
+    values: Vec<u64>,
+}
+
+impl<'a> ParallelSim<'a> {
+    /// Creates a simulator for the given netlist and combinational view.
+    pub fn new(nl: &'a Netlist, view: &'a CombView) -> Self {
+        Self { nl, view, values: vec![0; nl.net_count()] }
+    }
+
+    /// Simulates 64 vectors: `pi_values[i]` holds the 64 values of
+    /// `view.pis[i]`. After the call every net value is available through
+    /// [`ParallelSim::value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len()` differs from the number of view PIs.
+    pub fn simulate(&mut self, pi_values: &[u64]) {
+        assert_eq!(pi_values.len(), self.view.pis.len(), "PI vector count mismatch");
+        for v in &mut self.values {
+            *v = 0;
+        }
+        for (i, &pi) in self.view.pis.iter().enumerate() {
+            self.values[pi.index()] = pi_values[i];
+        }
+        // Constants.
+        for (id, net) in self.nl.nets() {
+            if let Some(Driver::Const(c)) = net.driver {
+                self.values[id.index()] = if c { u64::MAX } else { 0 };
+            }
+        }
+        let mut ins: Vec<u64> = Vec::with_capacity(6);
+        for &gid in &self.view.order {
+            let gate = self.nl.gate(gid).expect("live gate in view");
+            let cell = self.nl.lib().cell(gate.cell);
+            ins.clear();
+            ins.extend(gate.inputs.iter().map(|n| self.values[n.index()]));
+            for (k, out) in cell.outputs.iter().enumerate() {
+                let v = out.function.eval_parallel(&ins);
+                self.values[gate.outputs[k].index()] = v;
+            }
+        }
+    }
+
+    /// The 64 simulated values of a net (valid after [`simulate`]).
+    ///
+    /// [`simulate`]: ParallelSim::simulate
+    #[inline]
+    pub fn value(&self, net: NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    /// The values of all view primary outputs, in view order.
+    pub fn output_values(&self) -> Vec<u64> {
+        self.view.pos.iter().map(|&po| self.value(po)).collect()
+    }
+
+    /// Immutable access to the full value array (indexed by `NetId`).
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// Convenience single-vector simulation: returns the value of every view PO
+/// for one input assignment (`pis[i]` is the value of `view.pis[i]`).
+pub fn simulate_one(nl: &Netlist, view: &CombView, pis: &[bool]) -> Vec<bool> {
+    let lanes: Vec<u64> = pis.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    let mut sim = ParallelSim::new(nl, view);
+    sim.simulate(&lanes);
+    view.pos.iter().map(|&po| sim.value(po) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+
+    fn xor_netlist() -> Netlist {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("x", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_named_net("y");
+        let xor = nl.lib().cell_id("XOR2X1").unwrap();
+        nl.add_gate("g", xor, &[a, b], &[y]).unwrap();
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn xor_truth_table_via_sim() {
+        let nl = xor_netlist();
+        let view = nl.comb_view().unwrap();
+        for (a, b, want) in [(false, false, false), (true, false, true), (false, true, true), (true, true, false)] {
+            let out = simulate_one(&nl, &view, &[a, b]);
+            assert_eq!(out, vec![want], "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn parallel_lanes_are_independent() {
+        let nl = xor_netlist();
+        let view = nl.comb_view().unwrap();
+        let mut sim = ParallelSim::new(&nl, &view);
+        // lane i: a = bit i of 0b0101..., b = bit i of 0b0011...
+        let a = 0x5555_5555_5555_5555u64;
+        let b = 0x3333_3333_3333_3333u64;
+        sim.simulate(&[a, b]);
+        let y = nl.find_net("y").unwrap();
+        assert_eq!(sim.value(y), a ^ b);
+    }
+
+    #[test]
+    fn const_nets_simulate() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("c", lib);
+        let a = nl.add_input("a");
+        let c1 = nl.const1();
+        let y = nl.add_named_net("y");
+        let nand = nl.lib().cell_id("NAND2X1").unwrap();
+        nl.add_gate("g", nand, &[a, c1], &[y]).unwrap();
+        nl.mark_output(y);
+        let view = nl.comb_view().unwrap();
+        let mut sim = ParallelSim::new(&nl, &view);
+        sim.simulate(&[0b10]);
+        let y = nl.find_net("y").unwrap();
+        // y = !(a & 1) = !a
+        assert_eq!(sim.value(y) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn multi_output_cell_sim() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("fa", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let s = nl.add_named_net("s");
+        let co = nl.add_named_net("co");
+        let fa = nl.lib().cell_id("FAX1").unwrap();
+        nl.add_gate("g", fa, &[a, b, c], &[s, co]).unwrap();
+        nl.mark_output(s);
+        nl.mark_output(co);
+        let view = nl.comb_view().unwrap();
+        for m in 0..8u64 {
+            let pis = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+            let out = simulate_one(&nl, &view, &pis);
+            let ones = pis.iter().filter(|&&x| x).count();
+            assert_eq!(out[0], ones % 2 == 1, "sum m={m}");
+            assert_eq!(out[1], ones >= 2, "carry m={m}");
+        }
+    }
+}

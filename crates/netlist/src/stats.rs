@@ -1,0 +1,89 @@
+//! Netlist statistics: per-cell usage histogram, area, pin counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::netlist::Netlist;
+
+/// Summary statistics of a netlist.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetlistStats {
+    /// Live gate count.
+    pub gates: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Flip-flop count.
+    pub flops: usize,
+    /// Total standard-cell area in µm².
+    pub area: f64,
+    /// Gate count per cell name.
+    pub per_cell: BTreeMap<String, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn of(nl: &Netlist) -> Self {
+        let mut per_cell = BTreeMap::new();
+        let mut flops = 0;
+        for (_, g) in nl.gates() {
+            let cell = nl.lib().cell(g.cell);
+            *per_cell.entry(cell.name.clone()).or_insert(0) += 1;
+            if cell.class == crate::cell::CellClass::Flop {
+                flops += 1;
+            }
+        }
+        Self {
+            gates: nl.gate_count(),
+            nets: nl.net_count(),
+            inputs: nl.primary_inputs().len(),
+            outputs: nl.primary_outputs().len(),
+            flops,
+            area: nl.total_area(),
+            per_cell,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} gates, {} nets, {} PIs, {} POs, {} flops, area {:.1} um^2",
+            self.gates, self.nets, self.inputs, self.outputs, self.flops, self.area
+        )?;
+        for (cell, count) in &self.per_cell {
+            writeln!(f, "  {cell:<10} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+
+    #[test]
+    fn stats_count_cells() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("s", lib);
+        let a = nl.add_input("a");
+        let n1 = nl.add_net();
+        let n2 = nl.add_net();
+        let inv = nl.lib().cell_id("INVX1").unwrap();
+        nl.add_gate("g1", inv, &[a], &[n1]).unwrap();
+        nl.add_gate("g2", inv, &[n1], &[n2]).unwrap();
+        nl.mark_output(n2);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.per_cell["INVX1"], 2);
+        assert_eq!(s.flops, 0);
+        assert!(s.area > 0.0);
+        let text = s.to_string();
+        assert!(text.contains("INVX1"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Truth tables for boolean functions of up to six inputs.
+//!
+//! A [`TruthTable`] stores the function value for every input minterm in a
+//! single `u64`: bit `m` holds `f(m)` where input `i` contributes bit `i` of
+//! the minterm index. Functions with fewer than six inputs only use the low
+//! `2^n` bits; the unused high bits are kept zero so that equality works.
+
+use std::fmt;
+
+/// Maximum number of truth-table inputs supported.
+pub const MAX_TT_INPUTS: usize = 6;
+
+/// A complete truth table of a boolean function with up to six inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    bits: u64,
+    inputs: u8,
+}
+
+impl TruthTable {
+    /// Creates a truth table from raw bits.
+    ///
+    /// Bits above `2^inputs` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > 6`.
+    pub fn new(inputs: usize, bits: u64) -> Self {
+        assert!(
+            inputs <= MAX_TT_INPUTS,
+            "truth tables support at most {MAX_TT_INPUTS} inputs, got {inputs}"
+        );
+        Self {
+            bits: bits & Self::mask(inputs),
+            inputs: inputs as u8,
+        }
+    }
+
+    /// The constant-zero function of `inputs` variables.
+    pub fn zero(inputs: usize) -> Self {
+        Self::new(inputs, 0)
+    }
+
+    /// The constant-one function of `inputs` variables.
+    pub fn one(inputs: usize) -> Self {
+        Self::new(inputs, u64::MAX)
+    }
+
+    /// The projection function returning input `var` of `inputs` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= inputs`.
+    pub fn var(inputs: usize, var: usize) -> Self {
+        assert!(var < inputs, "variable {var} out of range for {inputs} inputs");
+        Self::new(inputs, Self::var_pattern(var))
+    }
+
+    /// The standard bit pattern of variable `var` over 64 minterms.
+    fn var_pattern(var: usize) -> u64 {
+        // For var v, minterm m has bit v of m set in alternating blocks of 2^v.
+        const PATTERNS: [u64; 6] = [
+            0xAAAA_AAAA_AAAA_AAAA,
+            0xCCCC_CCCC_CCCC_CCCC,
+            0xF0F0_F0F0_F0F0_F0F0,
+            0xFF00_FF00_FF00_FF00,
+            0xFFFF_0000_FFFF_0000,
+            0xFFFF_FFFF_0000_0000,
+        ];
+        PATTERNS[var]
+    }
+
+    /// Bit mask selecting the `2^inputs` meaningful bits.
+    fn mask(inputs: usize) -> u64 {
+        if inputs >= MAX_TT_INPUTS {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << inputs)) - 1
+        }
+    }
+
+    /// Number of inputs of the function.
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.inputs as usize
+    }
+
+    /// Raw function bits (only the low `2^n` bits are meaningful).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Evaluates the function for one input minterm.
+    ///
+    /// Input `i`'s value is bit `i` of `minterm`.
+    #[inline]
+    pub fn eval(&self, minterm: u64) -> bool {
+        let m = minterm & ((1u64 << self.inputs) - 1).max(0);
+        (self.bits >> m) & 1 == 1
+    }
+
+    /// Evaluates the function on 64 input vectors in parallel.
+    ///
+    /// `inputs[i]` carries the 64 values of input `i`; the result carries the
+    /// 64 output values.
+    pub fn eval_parallel(&self, inputs: &[u64]) -> u64 {
+        debug_assert_eq!(inputs.len(), self.input_count());
+        let mut out = 0u64;
+        for m in 0..(1usize << self.inputs) {
+            if (self.bits >> m) & 1 == 1 {
+                let mut term = u64::MAX;
+                for (i, &v) in inputs.iter().enumerate() {
+                    term &= if (m >> i) & 1 == 1 { v } else { !v };
+                }
+                out |= term;
+            }
+        }
+        out
+    }
+
+    /// Returns the function with input `var` complemented.
+    pub fn flip_input(&self, var: usize) -> Self {
+        assert!(var < self.input_count());
+        let n = 1usize << self.inputs;
+        let mut bits = 0u64;
+        for m in 0..n {
+            if (self.bits >> m) & 1 == 1 {
+                bits |= 1 << (m ^ (1 << var));
+            }
+        }
+        Self::new(self.input_count(), bits)
+    }
+
+    /// Returns the complemented function.
+    pub fn not(&self) -> Self {
+        Self::new(self.input_count(), !self.bits)
+    }
+
+    /// Returns the function with inputs permuted: new input `i` is old input
+    /// `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..inputs`.
+    pub fn permute(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.input_count());
+        let n = 1usize << self.inputs;
+        let mut bits = 0u64;
+        for m in 0..n {
+            // Map a minterm in the new input order to the old order.
+            let mut old = 0usize;
+            for (new_i, &old_i) in perm.iter().enumerate() {
+                if (m >> new_i) & 1 == 1 {
+                    old |= 1 << old_i;
+                }
+            }
+            if (self.bits >> old) & 1 == 1 {
+                bits |= 1 << m;
+            }
+        }
+        Self::new(self.input_count(), bits)
+    }
+
+    /// Returns the positive cofactor with respect to `var` (one fewer input).
+    pub fn cofactor(&self, var: usize, value: bool) -> Self {
+        assert!(var < self.input_count());
+        let n = 1usize << self.inputs;
+        let mut bits = 0u64;
+        let mut idx = 0usize;
+        for m in 0..n {
+            if ((m >> var) & 1 == 1) == value {
+                if (self.bits >> m) & 1 == 1 {
+                    bits |= 1 << idx;
+                }
+                idx += 1;
+            }
+        }
+        Self::new(self.input_count() - 1, bits)
+    }
+
+    /// True if the function actually depends on input `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    /// True if the function is constant (zero or one).
+    pub fn is_constant(&self) -> bool {
+        self.bits == 0 || self.bits == Self::mask(self.input_count())
+    }
+
+    /// Extends the function to `inputs` variables by adding dummy inputs at
+    /// the high positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is smaller than the current input count or larger
+    /// than [`MAX_TT_INPUTS`].
+    pub fn extend_to(&self, inputs: usize) -> Self {
+        assert!(inputs >= self.input_count() && inputs <= MAX_TT_INPUTS);
+        let mut bits = self.bits;
+        let mut cur = self.input_count();
+        while cur < inputs {
+            let width = 1u32 << cur;
+            if width >= 64 {
+                break;
+            }
+            bits |= bits << width;
+            cur += 1;
+        }
+        Self::new(inputs, bits)
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} in, {:#018x})", self.inputs, self.bits)
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = 1usize << self.inputs;
+        for m in (0..n).rev() {
+            write!(f, "{}", (self.bits >> m) & 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_patterns_match_eval() {
+        for n in 1..=6usize {
+            for v in 0..n {
+                let tt = TruthTable::var(n, v);
+                for m in 0..(1u64 << n) {
+                    assert_eq!(tt.eval(m), (m >> v) & 1 == 1, "n={n} v={v} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nand2_eval() {
+        // NAND2: !(a & b) over inputs a=var0, b=var1.
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let nand = TruthTable::new(2, !(a.bits() & b.bits()));
+        assert!(nand.eval(0b00));
+        assert!(nand.eval(0b01));
+        assert!(nand.eval(0b10));
+        assert!(!nand.eval(0b11));
+    }
+
+    #[test]
+    fn parallel_eval_matches_scalar() {
+        let tt = TruthTable::new(3, 0b1110_1000); // majority
+        let a = 0b0101u64;
+        let b = 0b0011u64;
+        let c = 0b1111u64;
+        let out = tt.eval_parallel(&[a, b, c]);
+        for lane in 0..4u64 {
+            let m = ((a >> lane) & 1) | (((b >> lane) & 1) << 1) | (((c >> lane) & 1) << 2);
+            assert_eq!((out >> lane) & 1 == 1, tt.eval(m), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn permute_identity_and_swap() {
+        let tt = TruthTable::new(2, 0b0100); // a & !b
+        assert_eq!(tt.permute(&[0, 1]), tt);
+        let swapped = tt.permute(&[1, 0]); // b & !a... check: new in0 = old in1
+        assert!(swapped.eval(0b01)); // new minterm a=1,b=0 -> old a=0,b=1
+        assert!(!swapped.eval(0b10));
+    }
+
+    #[test]
+    fn cofactor_and_depends() {
+        let a = TruthTable::var(2, 0);
+        assert!(a.depends_on(0));
+        assert!(!a.depends_on(1));
+        assert_eq!(a.cofactor(0, true), TruthTable::one(1));
+        assert_eq!(a.cofactor(0, false), TruthTable::zero(1));
+    }
+
+    #[test]
+    fn flip_input_involutes() {
+        let tt = TruthTable::new(3, 0b1011_0010);
+        assert_eq!(tt.flip_input(1).flip_input(1), tt);
+    }
+
+    #[test]
+    fn extend_keeps_function() {
+        let tt = TruthTable::var(2, 1);
+        let ext = tt.extend_to(4);
+        assert_eq!(ext.input_count(), 4);
+        for m in 0..16u64 {
+            assert_eq!(ext.eval(m), (m >> 1) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let tt = TruthTable::new(2, 0b0110);
+        assert_eq!(tt.to_string(), "0110");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_inputs_panics() {
+        let _ = TruthTable::new(7, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Netlist structural validation and the crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::netlist::{Driver, Netlist};
+
+/// Errors produced by netlist construction and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate was instantiated with the wrong number of pins.
+    PinCountMismatch {
+        /// Cell name.
+        cell: String,
+        /// Expected input pin count.
+        expected_inputs: usize,
+        /// Provided input pin count.
+        got_inputs: usize,
+        /// Expected output pin count.
+        expected_outputs: usize,
+        /// Provided output pin count.
+        got_outputs: usize,
+    },
+    /// A net would be driven by two sources.
+    MultipleDrivers {
+        /// Net name.
+        net: String,
+    },
+    /// A net has sinks (or is a primary output) but no driver.
+    FloatingNet {
+        /// Net name.
+        net: String,
+    },
+    /// The combinational part of the netlist is cyclic.
+    CombinationalLoop {
+        /// Number of gates that could not be ordered.
+        gates_in_loop: usize,
+    },
+    /// A cell name was not found in the library.
+    UnknownCell {
+        /// The offending name.
+        name: String,
+    },
+    /// Verilog-subset parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::PinCountMismatch {
+                cell,
+                expected_inputs,
+                got_inputs,
+                expected_outputs,
+                got_outputs,
+            } => write!(
+                f,
+                "cell {cell} expects {expected_inputs} inputs / {expected_outputs} outputs, \
+                 got {got_inputs} / {got_outputs}"
+            ),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net} has multiple drivers")
+            }
+            NetlistError::FloatingNet { net } => write!(f, "net {net} has loads but no driver"),
+            NetlistError::CombinationalLoop { gates_in_loop } => {
+                write!(f, "combinational loop involving {gates_in_loop} gates")
+            }
+            NetlistError::UnknownCell { name } => write!(f, "unknown cell {name}"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Checks structural invariants of a netlist:
+///
+/// 1. every net with loads (or marked as a primary output) has a driver;
+/// 2. the combinational portion is acyclic.
+///
+/// Driver uniqueness and pin-count correctness are enforced at construction
+/// time by [`Netlist::add_gate`].
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn validate(nl: &Netlist) -> Result<(), NetlistError> {
+    for (_, net) in nl.nets() {
+        let is_po = nl.primary_outputs().iter().any(|&o| nl.net(o).name == net.name);
+        if (is_po || !net.loads.is_empty()) && net.driver.is_none() {
+            return Err(NetlistError::FloatingNet { net: net.name.clone() });
+        }
+        if let Some(Driver::Gate(g, _)) = net.driver {
+            if nl.gate(g).is_none() {
+                return Err(NetlistError::FloatingNet { net: net.name.clone() });
+            }
+        }
+    }
+    nl.comb_view()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+
+    #[test]
+    fn floating_net_detected() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let dangling = nl.add_named_net("dangling");
+        let n1 = nl.add_net();
+        let nand = nl.lib().cell_id("NAND2X1").unwrap();
+        nl.add_gate("g", nand, &[a, dangling], &[n1]).unwrap();
+        nl.mark_output(n1);
+        let err = nl.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::FloatingNet { .. }));
+    }
+
+    #[test]
+    fn valid_netlist_passes() {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let y = nl.add_named_net("y");
+        let inv = nl.lib().cell_id("INVX1").unwrap();
+        nl.add_gate("g", inv, &[a], &[y]).unwrap();
+        nl.mark_output(y);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_sentences() {
+        let e = NetlistError::MultipleDrivers { net: "x".into() };
+        let msg = e.to_string();
+        assert!(msg.starts_with("net"));
+        assert!(!msg.ends_with('.'));
+    }
+}

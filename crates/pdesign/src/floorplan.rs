@@ -1,0 +1,102 @@
+//! Row-based floorplans.
+//!
+//! The paper fixes the die area of the original design (70% core
+//! utilization) and requires every resynthesized layout to fit the same
+//! floorplan. A [`Floorplan`] is therefore computed once from the original
+//! netlist's cell area and reused unchanged across resynthesis iterations.
+
+/// Placement site width in µm (one unit of cell width).
+pub const SITE_WIDTH_UM: f64 = 2.4;
+/// Standard-cell row height in µm.
+pub const ROW_HEIGHT_UM: f64 = 10.0;
+
+/// A fixed row-based floorplan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Floorplan {
+    /// Number of placement rows.
+    pub rows: usize,
+    /// Number of sites per row.
+    pub sites_per_row: usize,
+    /// Core utilization target the floorplan was sized for.
+    pub utilization: f64,
+}
+
+impl Floorplan {
+    /// Sizes a near-square floorplan for the given total standard-cell area
+    /// at the given core utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]` or `cell_area_um2 <= 0`.
+    pub fn for_cell_area(cell_area_um2: f64, utilization: f64) -> Self {
+        assert!(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0,1]");
+        assert!(cell_area_um2 > 0.0, "cell area must be positive");
+        let core_area = cell_area_um2 / utilization;
+        let side = core_area.sqrt();
+        let rows = (side / ROW_HEIGHT_UM).ceil().max(1.0) as usize;
+        // Re-balance width so rows × width covers the core area.
+        let width = core_area / (rows as f64 * ROW_HEIGHT_UM);
+        let sites_per_row = (width / SITE_WIDTH_UM).ceil().max(1.0) as usize;
+        Self { rows, sites_per_row, utilization }
+    }
+
+    /// Die width in µm.
+    pub fn width_um(&self) -> f64 {
+        self.sites_per_row as f64 * SITE_WIDTH_UM
+    }
+
+    /// Die height in µm.
+    pub fn height_um(&self) -> f64 {
+        self.rows as f64 * ROW_HEIGHT_UM
+    }
+
+    /// Total placement capacity in sites.
+    pub fn capacity_sites(&self) -> usize {
+        self.rows * self.sites_per_row
+    }
+
+    /// Center coordinates of a site, in µm.
+    pub fn site_center(&self, row: usize, site: usize) -> (f64, f64) {
+        (
+            site as f64 * SITE_WIDTH_UM + SITE_WIDTH_UM / 2.0,
+            row as f64 * ROW_HEIGHT_UM + ROW_HEIGHT_UM / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floorplan_covers_requested_area() {
+        let fp = Floorplan::for_cell_area(7000.0, 0.7);
+        let core = fp.width_um() * fp.height_um();
+        assert!(core >= 7000.0 / 0.7 * 0.99, "core {core} too small");
+        // Near-square: aspect ratio within 2x.
+        let ar = fp.width_um() / fp.height_um();
+        assert!(ar > 0.5 && ar < 2.0, "aspect ratio {ar}");
+    }
+
+    #[test]
+    fn capacity_scales_with_area() {
+        let small = Floorplan::for_cell_area(1000.0, 0.7);
+        let big = Floorplan::for_cell_area(10000.0, 0.7);
+        assert!(big.capacity_sites() > small.capacity_sites() * 5);
+    }
+
+    #[test]
+    fn site_centers_are_inside_die() {
+        let fp = Floorplan::for_cell_area(5000.0, 0.7);
+        let (x, y) = fp.site_center(fp.rows - 1, fp.sites_per_row - 1);
+        assert!(x < fp.width_um() && y < fp.height_um());
+        let (x0, y0) = fp.site_center(0, 0);
+        assert!(x0 > 0.0 && y0 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        let _ = Floorplan::for_cell_area(100.0, 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Physical design for the `rsyn` DFM-resynthesis system.
+//!
+//! The paper calls this `PDesign()`: after (re)synthesis the circuit is
+//! placed and routed inside a **fixed floorplan** (die area never grows),
+//! and the resulting layout geometry drives the DFM guideline scan, static
+//! timing, and power estimation. This crate implements a deterministic,
+//! laptop-scale version of that flow:
+//!
+//! * [`floorplan`] — row-based floorplan sized at 70% core utilization;
+//! * [`place`] — topological seeding plus seeded simulated-annealing
+//!   refinement, with incremental re-placement for resynthesized windows;
+//! * [`route`] — a two-layer (horizontal/vertical) trunk router with via
+//!   insertion and per-gcell congestion tracking;
+//! * [`layout`] — the geometric database consumed by the DFM scanner;
+//! * [`timing`] — topological static timing with load-dependent delays;
+//! * [`power`] — activity-based dynamic power plus leakage.
+//!
+//! # Example
+//!
+//! ```
+//! use rsyn_netlist::{Library, Netlist};
+//! use rsyn_pdesign::flow::physical_design;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = Library::osu018();
+//! let mut nl = Netlist::new("t", lib.clone());
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_named_net("y");
+//! let nand = lib.cell_id("NAND2X1").unwrap();
+//! nl.add_gate("u0", nand, &[a, b], &[y])?;
+//! nl.mark_output(y);
+//! let pd = physical_design(&nl, 0xDA7E)?;
+//! assert!(pd.timing.critical_delay_ps > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod floorplan;
+pub mod flow;
+pub mod layout;
+pub mod place;
+pub mod power;
+pub mod route;
+pub mod timing;
+
+pub use floorplan::Floorplan;
+pub use flow::{physical_design, PhysicalDesign};
+pub use layout::{Layer, Layout, PlacedCell, Point, RoutedNet, Segment, Via};
+pub use place::{PlaceError, Placement};
+pub use power::PowerReport;
+pub use timing::TimingReport;

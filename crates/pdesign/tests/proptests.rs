@@ -1,0 +1,140 @@
+//! Property-based tests for the physical-design substrate: placement
+//! legality, routing connectivity, and timing-graph invariants.
+
+use proptest::prelude::*;
+use rsyn_pdesign::flow::physical_design;
+use rsyn_pdesign::floorplan::Floorplan;
+use rsyn_pdesign::place::Placement;
+use rsyn_pdesign::route::route;
+use rsyn_netlist::{Library, NetId, Netlist};
+
+fn random_netlist(seed: u64, gates: usize) -> Netlist {
+    let lib = Library::osu018();
+    let mut nl = Netlist::new("rnd", lib.clone());
+    let mut nets: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+    let names = ["INVX1", "NAND2X1", "NOR2X1", "AOI21X1", "FAX1", "MUX2X1"];
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for k in 0..gates {
+        let cell = lib.cell_id(names[(next() % names.len() as u64) as usize]).unwrap();
+        let c = lib.cell(cell);
+        let ins: Vec<NetId> =
+            (0..c.input_count()).map(|_| nets[(next() % nets.len() as u64) as usize]).collect();
+        let outs: Vec<NetId> = (0..c.output_count()).map(|_| nl.add_net()).collect();
+        nl.add_gate(format!("g{k}"), cell, &ins, &outs).unwrap();
+        nets.extend(outs);
+    }
+    for &n in nets.iter().rev().take(3) {
+        nl.mark_output(n);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Global placement never overlaps cells and never leaves the die.
+    #[test]
+    fn placement_is_legal(seed in 0u64..100, gates in 10usize..60) {
+        let nl = random_netlist(seed, gates);
+        let fp = Floorplan::for_cell_area(nl.total_area(), 0.7);
+        let p = Placement::global(&nl, fp, seed).unwrap();
+        let mut occ = vec![vec![false; fp.sites_per_row]; fp.rows];
+        for (id, _) in nl.gates() {
+            let s = p.slot(id).expect("placed");
+            prop_assert!((s.row as usize) < fp.rows);
+            prop_assert!((s.site + s.width) as usize <= fp.sites_per_row);
+            for x in s.site..s.site + s.width {
+                prop_assert!(!occ[s.row as usize][x as usize], "overlap");
+                occ[s.row as usize][x as usize] = true;
+            }
+        }
+    }
+
+    /// Every multi-pin, non-constant net gets a route, and every route's
+    /// segments are axis-aligned with positive total length bounded by the
+    /// die perimeter times the pin count.
+    #[test]
+    fn routing_covers_all_nets(seed in 0u64..100) {
+        let nl = random_netlist(seed, 30);
+        let fp = Floorplan::for_cell_area(nl.total_area(), 0.7);
+        let p = Placement::global(&nl, fp, seed).unwrap();
+        let layout = route(&nl, &p);
+        for (id, net) in nl.nets() {
+            let driven = matches!(net.driver, Some(rsyn_netlist::Driver::Gate(..) | rsyn_netlist::Driver::Input));
+            let pins = net.loads.len() + usize::from(driven);
+            let routed = layout.nets.iter().any(|r| r.net == id);
+            if driven && pins >= 2 {
+                prop_assert!(routed, "net {} unrouted", id);
+            }
+        }
+        for rn in &layout.nets {
+            let bound = (fp.width_um() + fp.height_um()) * (nl.net(rn.net).loads.len() + 2) as f64;
+            prop_assert!(rn.wirelength() <= bound, "net {} suspiciously long", rn.net);
+        }
+    }
+
+    /// Timing invariants: arrivals are monotone along gate edges, slack on
+    /// the critical endpoint is zero, and no net has negative slack.
+    #[test]
+    fn timing_graph_invariants(seed in 0u64..100) {
+        let nl = random_netlist(seed, 40);
+        let pd = physical_design(&nl, seed).unwrap();
+        let t = &pd.timing;
+        let view = nl.comb_view().unwrap();
+        for &gid in &view.order {
+            let gate = nl.gate(gid).unwrap();
+            let in_max = gate.inputs.iter().map(|&n| t.arrival(n)).fold(0.0, f64::max);
+            for &o in &gate.outputs {
+                prop_assert!(t.arrival(o) > in_max, "gate output earlier than inputs");
+            }
+        }
+        if let Some(end) = t.critical_endpoint {
+            prop_assert!(t.slack(end).abs() < 1e-6, "critical endpoint slack {}", t.slack(end));
+        }
+        for (id, net) in nl.nets() {
+            if net.driver.is_some() {
+                prop_assert!(t.slack(id) > -1e-6, "negative slack on {}", id);
+            }
+        }
+    }
+
+    /// Incremental re-placement after removing and re-adding gates keeps
+    /// legality and never moves surviving gates.
+    #[test]
+    fn incremental_placement_stability(seed in 0u64..60) {
+        let mut nl = random_netlist(seed, 30);
+        let fp = Floorplan::for_cell_area(nl.total_area() * 1.4, 0.7);
+        let mut p = Placement::global(&nl, fp, seed).unwrap();
+        let victims: Vec<_> = nl.gates().map(|(id, _)| id).take(4).collect();
+        let survivors: Vec<_> = nl.gates().map(|(id, _)| id).skip(4).collect();
+        let before: Vec<_> = survivors.iter().map(|&g| p.slot(g)).collect();
+        let lib = nl.lib().clone();
+        let inv = lib.cell_id("INVX1").unwrap();
+        for (k, g) in victims.into_iter().enumerate() {
+            let gate = nl.gate(g).unwrap().clone();
+            nl.remove_gate(g);
+            for (j, &o) in gate.outputs.iter().enumerate() {
+                nl.add_gate(format!("r{k}_{j}"), inv, &[gate.inputs[0]], &[o]).unwrap();
+            }
+        }
+        p.sync(&nl).unwrap();
+        for (g, slot) in survivors.iter().zip(before) {
+            prop_assert_eq!(p.slot(*g), slot, "survivor moved");
+        }
+        // Legality after sync.
+        let mut occ = vec![vec![false; fp.sites_per_row]; fp.rows];
+        for (id, _) in nl.gates() {
+            let s = p.slot(id).expect("placed");
+            for x in s.site..s.site + s.width {
+                prop_assert!(!occ[s.row as usize][x as usize], "overlap after sync");
+                occ[s.row as usize][x as usize] = true;
+            }
+        }
+    }
+}

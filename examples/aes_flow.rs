@@ -1,0 +1,79 @@
+//! Walks the whole substrate stack on the AES round circuit, showing each
+//! stage's artifacts: netlist → placement/routing → DFM violations →
+//! faults → ATPG → clusters. Useful as a tour of the crate APIs.
+//!
+//! Run with: `cargo run --release --example aes_flow`
+
+use rsyn::atpg::engine::{run_atpg, AtpgOptions};
+use rsyn::circuits::build_benchmark_with;
+use rsyn::cluster::cluster_faults;
+use rsyn::dfm::{extract_faults, scan_layout, GuidelineCategory, GuidelineSet, InternalCatalog};
+use rsyn::netlist::{Library, NetlistStats};
+use rsyn::pdesign::flow::physical_design;
+use rsyn_logic::Mapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::osu018();
+    let mapper = Mapper::new(&lib);
+
+    // 1. Synthesize the AES round (real GF(2^4) math, mapped onto the
+    //    21-cell library).
+    let nl = build_benchmark_with("aes_core", &lib, &mapper).expect("benchmark");
+    println!("== netlist ==\n{}", NetlistStats::of(&nl));
+
+    // 2. Physical design: fixed floorplan at 70% utilization, placement,
+    //    two-layer routing.
+    let pd = physical_design(&nl, 0xDA7E)?;
+    println!("== layout ==");
+    println!(
+        "die {:.0} x {:.0} um, wirelength {:.0} um, {} vias, critical path {:.0} ps, power {:.1} uW",
+        pd.placement.floorplan().width_um(),
+        pd.placement.floorplan().height_um(),
+        pd.layout.total_wirelength(),
+        pd.layout.total_vias(),
+        pd.timing.critical_delay_ps,
+        pd.power.total_uw()
+    );
+
+    // 3. DFM guideline scan (19 Via / 29 Metal / 11 Density guidelines).
+    let guidelines = GuidelineSet::standard();
+    let violations = scan_layout(&pd.layout, &guidelines);
+    for cat in [GuidelineCategory::Via, GuidelineCategory::Metal, GuidelineCategory::Density] {
+        let n = violations
+            .iter()
+            .filter(|v| guidelines.by_id(v.guideline).map(|g| g.category) == Some(cat))
+            .count();
+        println!("{cat:?} violations: {n}");
+    }
+
+    // 4. Translate violations + cell-internal defects into the fault set F.
+    let catalog = InternalCatalog::build(&lib);
+    let faults = extract_faults(&nl, &pd.layout, &guidelines, &catalog);
+    let internal = faults.iter().filter(|f| f.is_internal()).count();
+    println!("== faults == F = {} ({} internal, {} external)", faults.len(), internal, faults.len() - internal);
+
+    // 5. ATPG: random phase + PODEM with undetectability proofs.
+    let view = nl.comb_view()?;
+    let result = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+    println!(
+        "== atpg == detected {}, undetectable {}, aborted {}, tests {}, coverage {:.2}%",
+        result.detected_count(),
+        result.undetectable_count(),
+        result.aborted_count(),
+        result.tests.len(),
+        100.0 * result.coverage()
+    );
+
+    // 6. Cluster the undetectable faults (Section II).
+    let undetectable = result.undetectable_indices();
+    let clusters = cluster_faults(&nl, &faults, &undetectable);
+    let dist = clusters.size_distribution();
+    println!(
+        "== clusters == {} clusters; S_max = {} faults over {} gates; sizes {:?}",
+        clusters.cluster_count(),
+        clusters.s_max_size(),
+        clusters.g_max().len(),
+        &dist[..dist.len().min(10)]
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Visualises the clustering phenomenon of Section II: an ASCII map of the
+//! die with every gate marked by whether it carries undetectable faults,
+//! plus the cluster size distribution — the textual equivalent of the
+//! paper's Fig. 2 cluster picture (clusters A, B, and smaller ones).
+//!
+//! Run with: `cargo run --release --example cluster_map [circuit]`
+
+use std::collections::HashSet;
+
+use rsyn::circuits::build_benchmark_with;
+use rsyn::core::flow::{DesignState, FlowContext};
+use rsyn::netlist::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = std::env::args().nth(1).unwrap_or_else(|| "sparc_fpu".to_string());
+    let lib = Library::osu018();
+    let ctx = FlowContext::new(lib.clone());
+    let nl = build_benchmark_with(&circuit, &lib, &ctx.mapper)
+        .ok_or_else(|| format!("unknown circuit {circuit}"))?;
+    let state = DesignState::analyze(nl, &ctx, None)?;
+
+    let g_max: HashSet<_> = state.g_max().into_iter().collect();
+    let g_u: HashSet<_> = state.g_u().into_iter().collect();
+
+    // Down-sample the die into a character grid.
+    let fp = state.pd.placement.floorplan();
+    let cols = 72usize.min(fp.sites_per_row);
+    let rows = fp.rows;
+    let mut grid = vec![vec![' '; cols]; rows];
+    for pc in &state.pd.layout.cells {
+        let cx = ((pc.x + pc.w / 2.0) / fp.width_um() * cols as f64) as usize;
+        let cy = ((pc.y + pc.h / 2.0) / fp.height_um() * rows as f64) as usize;
+        let (cx, cy) = (cx.min(cols - 1), cy.min(rows - 1));
+        let mark = if g_max.contains(&pc.gate) {
+            'A' // largest cluster
+        } else if g_u.contains(&pc.gate) {
+            'o' // other undetectable-fault gates
+        } else {
+            '.'
+        };
+        // Priority: A > o > .
+        let cur = grid[cy][cx];
+        if mark == 'A' || (mark == 'o' && cur != 'A') || cur == ' ' {
+            grid[cy][cx] = mark;
+        }
+    }
+
+    println!(
+        "{circuit}: {} faults, {} undetectable; largest cluster S_max = {} faults over {} gates",
+        state.fault_count(),
+        state.undetectable_count(),
+        state.s_max_size(),
+        g_max.len()
+    );
+    println!("die map  ('A' = G_max, 'o' = other G_U gates, '.' = clean gates):");
+    for row in grid.iter().rev() {
+        println!("  {}", row.iter().collect::<String>());
+    }
+    let dist = state.clusters.size_distribution();
+    println!("cluster sizes (faults): {:?}{}", &dist[..dist.len().min(15)], if dist.len() > 15 { " …" } else { "" });
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Quickstart: build a small circuit, run the full DFM-fault flow, and
+//! print what the paper's Table I would show for it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rsyn::circuits::build_benchmark_with;
+use rsyn::core::flow::{DesignState, FlowContext};
+use rsyn::core::report::Table1Row;
+use rsyn::netlist::{Library, NetlistStats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The 21-cell OSU-flavoured library and shared tooling (mapper, DFM
+    // guidelines, internal defect catalogs, ATPG options).
+    let lib = Library::osu018();
+    let ctx = FlowContext::new(lib.clone());
+
+    // Build one of the benchmark generators: a trap-logic-unit style block.
+    let nl = build_benchmark_with("sparc_tlu", &lib, &ctx.mapper).expect("known benchmark");
+    println!("netlist:\n{}", NetlistStats::of(&nl));
+
+    // Analyse: physical design at 70% utilization, DFM guideline scan,
+    // fault translation, ATPG with undetectability proofs, clustering.
+    let state = DesignState::analyze(nl, &ctx, None)?;
+
+    println!("faults F            : {}", state.fault_count());
+    println!("undetectable U      : {}", state.undetectable_count());
+    println!("coverage (1 - U/F)  : {:.2}%", 100.0 * state.coverage());
+    println!("tests               : {}", state.atpg.tests.len());
+    println!("largest cluster     : {} faults over {} gates", state.s_max_size(), state.g_max().len());
+    println!("critical path       : {:.0} ps", state.delay_ps());
+    println!("power               : {:.1} uW", state.power_uw());
+    println!();
+    println!("{}", Table1Row::header());
+    println!("{}", Table1Row::of("sparc_tlu", &state));
+    Ok(())
+}

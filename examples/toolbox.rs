@@ -1,0 +1,86 @@
+//! Tour of the release toolbox around the core flow: Liberty export of the
+//! cell library, DFM deck serialization, equivalence checking after
+//! resynthesis, fault dictionaries for diagnosis, tester-time estimation,
+//! and DOT export of the cluster structure.
+//!
+//! Run with: `cargo run --release --example toolbox`
+
+use rsyn::atpg::{FaultDictionary, TesterTime};
+use rsyn::circuits::build_benchmark_with;
+use rsyn::cluster::dot::clusters_to_dot;
+use rsyn::core::flow::{DesignState, FlowContext};
+use rsyn::dfm::{parse_deck, write_deck};
+use rsyn::logic::{check_equivalence, EquivResult};
+use rsyn::netlist::liberty::write_liberty;
+use rsyn::netlist::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::osu018();
+    let ctx = FlowContext::new(lib.clone());
+
+    // 1. Liberty export of the 21-cell library.
+    let liberty = write_liberty(&lib, "osu018_rsyn");
+    println!("liberty export: {} lines (first cell shown)", liberty.lines().count());
+    for line in liberty.lines().skip(5).take(6) {
+        println!("  {line}");
+    }
+
+    // 2. DFM deck round trip.
+    let deck = write_deck(&ctx.guidelines);
+    let parsed = parse_deck(&deck)?;
+    println!("\ndeck: {} guidelines serialised and parsed back", parsed.len());
+
+    // 3. Analyse a block and export its cluster structure as DOT.
+    let nl = build_benchmark_with("sparc_tlu", &lib, &ctx.mapper).expect("benchmark");
+    let state = DesignState::analyze(nl, &ctx, None)?;
+    let dot = clusters_to_dot(&state.nl, &state.clusters, 2);
+    println!(
+        "cluster DOT: {} nodes, {} edges (pipe into `dot -Tsvg`)",
+        dot.matches("label=").count(),
+        dot.matches("->").count()
+    );
+
+    // 4. Tester time for the generated test set.
+    let t = TesterTime::estimate(&state.nl, &state.atpg.tests);
+    println!(
+        "tester time: {} patterns x chain {} = {} cycles ({:.1} us at 10 MHz scan)",
+        t.patterns,
+        t.chain_length,
+        t.cycles,
+        1e6 * t.seconds_at(10.0e6)
+    );
+
+    // 5. Fault dictionary + a diagnosis query.
+    let view = state.nl.comb_view()?;
+    let dict = FaultDictionary::build(&state.nl, &view, &state.faults, &state.atpg.tests);
+    if let Some(victim) = state
+        .atpg
+        .statuses
+        .iter()
+        .position(|s| *s == rsyn::atpg::FaultStatus::Detected)
+    {
+        let fails: Vec<usize> =
+            (0..dict.test_count()).filter(|&t| dict.detects(victim, t)).collect();
+        let ranked = dict.diagnose(&fails, 3);
+        println!("diagnosis: observed fails of fault {victim} -> candidates {ranked:?}");
+    }
+
+    // 6. Equivalence check: the analysed netlist against itself remapped.
+    let mut remapped = state.nl.clone();
+    let gates: Vec<_> = remapped.gates().map(|(id, _)| id).collect();
+    let window = rsyn::logic::Window::extract(&remapped, &gates);
+    window.resynthesize_with(
+        &mut remapped,
+        &ctx.mapper,
+        &lib.comb_cells(),
+        &rsyn::logic::map::MapOptions::area(),
+    )?;
+    match check_equivalence(&state.nl, &remapped, 4096, 7) {
+        EquivResult::Equivalent => println!("equivalence: proven (exhaustive)"),
+        EquivResult::ProbablyEquivalent { vectors } => {
+            println!("equivalence: no mismatch over {vectors} random vectors")
+        }
+        other => println!("equivalence: UNEXPECTED {other:?}"),
+    }
+    Ok(())
+}

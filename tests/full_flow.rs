@@ -1,0 +1,115 @@
+//! End-to-end integration tests: benchmark generation → physical design →
+//! DFM fault extraction → ATPG → clustering → resynthesis, with the
+//! paper's invariants checked along the way.
+
+use rsyn::circuits::build_benchmark_with;
+use rsyn::core::constraints::DesignConstraints;
+use rsyn::core::flow::{DesignState, FlowContext};
+use rsyn::core::report::{Table1Row, Table2Row};
+use rsyn::core::resynth::{resynthesize, ResynthOptions};
+use rsyn::netlist::Library;
+
+fn setup(name: &str) -> (FlowContext, DesignState) {
+    let lib = Library::osu018();
+    let ctx = FlowContext::new(lib.clone());
+    let nl = build_benchmark_with(name, &ctx.lib, &ctx.mapper).expect("benchmark");
+    let state = DesignState::analyze(nl, &ctx, None).expect("analysis");
+    (ctx, state)
+}
+
+#[test]
+fn original_design_exhibits_the_clustering_phenomenon() {
+    let (_, state) = setup("sparc_fpu");
+    // Section II's observations:
+    // 1. there are undetectable faults;
+    assert!(state.undetectable_count() > 0);
+    // 2. most of them are internal;
+    let u_in = state.undetectable_internal_count();
+    assert!(
+        u_in * 2 > state.undetectable_count(),
+        "internal faults dominate U: {u_in} of {}",
+        state.undetectable_count()
+    );
+    // 3. they cluster: S_max holds a sizable fraction of U but the gates
+    //    involved are a minority of the circuit.
+    let smax_frac = state.s_max_size() as f64 / state.undetectable_count() as f64;
+    assert!(smax_frac > 0.10, "S_max fraction {smax_frac}");
+    assert!(state.g_u().len() < state.nl.gate_count(), "not every gate is affected");
+}
+
+#[test]
+fn external_faults_outnumber_internal_but_not_in_u() {
+    // Section II: "the number of external faults ... is larger than the
+    // number of internal faults, [but] the major portion of the
+    // undetectable faults are internal".
+    let (_, state) = setup("sparc_exu");
+    let row = Table1Row::of("sparc_exu", &state);
+    assert!(row.f_ex > row.f_in, "F_Ex {} <= F_In {}", row.f_ex, row.f_in);
+    assert!(row.u_in > row.u_ex, "U_In {} <= U_Ex {}", row.u_in, row.u_ex);
+}
+
+#[test]
+fn resynthesis_improves_coverage_within_constraints() {
+    let (ctx, original) = setup("sparc_ifu");
+    let constraints = DesignConstraints::from_original(&original, 5.0);
+    let out = resynthesize(&original, &ctx, &constraints, &ResynthOptions::default());
+    assert!(out.state.undetectable_count() < original.undetectable_count());
+    assert!(constraints.satisfied_by(&out.state), "delay/power within q = 5%");
+    // Die area is structurally fixed: same floorplan.
+    assert_eq!(
+        out.state.pd.placement.floorplan(),
+        original.pd.placement.floorplan()
+    );
+    out.state.nl.validate().expect("valid netlist after resynthesis");
+}
+
+#[test]
+fn resynthesis_preserves_circuit_function() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let (ctx, original) = setup("sparc_tlu");
+    let constraints = DesignConstraints::from_original(&original, 5.0);
+    let out = resynthesize(&original, &ctx, &constraints, &ResynthOptions::default());
+    assert!(!out.trace.is_empty(), "some iteration must be accepted for this test to bite");
+
+    // The combinational function over matching PIs must be identical.
+    let view_a = original.nl.comb_view().unwrap();
+    let view_b = out.state.nl.comb_view().unwrap();
+    assert_eq!(view_a.pis.len(), view_b.pis.len(), "same interface");
+    assert_eq!(view_a.pos.len(), view_b.pos.len());
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..64 {
+        let pis: Vec<bool> = (0..view_a.pis.len()).map(|_| rng.gen()).collect();
+        let oa = rsyn::netlist::sim::simulate_one(&original.nl, &view_a, &pis);
+        let ob = rsyn::netlist::sim::simulate_one(&out.state.nl, &view_b, &pis);
+        assert_eq!(oa, ob, "functional mismatch after resynthesis");
+    }
+}
+
+#[test]
+fn table2_rows_are_internally_consistent() {
+    let (ctx, original) = setup("sparc_tlu");
+    let orig_row = Table2Row::original("sparc_tlu", &original);
+    assert_eq!(orig_row.f, original.fault_count());
+    assert!((orig_row.cov - 100.0 * original.coverage()).abs() < 1e-9);
+
+    let constraints = DesignConstraints::from_original(&original, 5.0);
+    let out = resynthesize(&original, &ctx, &constraints, &ResynthOptions::default());
+    // U never increases across accepted iterations (the paper's
+    // monotonicity requirement).
+    let mut last_u = original.undetectable_count();
+    for t in &out.trace {
+        assert!(t.undetectable <= last_u, "U increased: {} -> {}", last_u, t.undetectable);
+        last_u = t.undetectable;
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let (_, a) = setup("sparc_lsu");
+    let (_, b) = setup("sparc_lsu");
+    assert_eq!(a.fault_count(), b.fault_count());
+    assert_eq!(a.undetectable_count(), b.undetectable_count());
+    assert_eq!(a.s_max_size(), b.s_max_size());
+    assert_eq!(a.delay_ps(), b.delay_ps());
+}

@@ -1,0 +1,206 @@
+//! Property-based tests over the core substrates, spanning crates:
+//! truth tables ↔ AIG ↔ mapper ↔ simulator agreement, ATPG verdict
+//! soundness, and clustering invariants.
+
+use proptest::prelude::*;
+use rsyn::atpg::engine::{run_atpg, AtpgOptions};
+use rsyn::atpg::fault::{Fault, FaultKind, FaultStatus};
+use rsyn::cluster::cluster_faults;
+use rsyn::logic::aig::{Aig, Lit};
+use rsyn::logic::map::{MapOptions, Mapper};
+use rsyn::netlist::{sim::simulate_one, Library, NetId, Netlist, TruthTable};
+
+/// Builds a netlist computing an arbitrary function via AIG + mapper.
+fn map_function(f: TruthTable) -> Netlist {
+    let lib = Library::osu018();
+    let mut aig = Aig::new();
+    let pis: Vec<Lit> = (0..f.input_count()).map(|_| aig.add_pi()).collect();
+    let y = aig.build_function(f, &pis);
+    aig.add_po(y);
+    let mut nl = Netlist::new("p", lib.clone());
+    let pi_nets: Vec<NetId> = (0..f.input_count()).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let po = nl.add_named_net("y");
+    nl.mark_output(po);
+    let mapper = Mapper::new(&lib);
+    let allowed = vec![true; lib.len()];
+    mapper
+        .map_into(&aig, &allowed, &MapOptions::area(), &mut nl, &pi_nets, &[po], "p")
+        .expect("mapping succeeds");
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any 4-input function survives AIG construction + technology mapping.
+    #[test]
+    fn mapper_preserves_arbitrary_functions(bits in 0u64..=0xFFFF) {
+        let f = TruthTable::new(4, bits);
+        let nl = map_function(f);
+        nl.validate().unwrap();
+        let view = nl.comb_view().unwrap();
+        for m in 0..16u64 {
+            let pis: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let out = simulate_one(&nl, &view, &pis);
+            prop_assert_eq!(out[0], f.eval(m), "minterm {}", m);
+        }
+    }
+
+    /// Truth-table cofactor identity: f = mux(x_i, f|x_i=1, f|x_i=0).
+    #[test]
+    fn cofactor_shannon_identity(bits in 0u64..=0xFFFF, var in 0usize..4) {
+        let f = TruthTable::new(4, bits);
+        let f0 = f.cofactor(var, false);
+        let f1 = f.cofactor(var, true);
+        for m in 0..16u64 {
+            let sub = ((m >> (var + 1)) << var) | (m & ((1 << var) - 1));
+            let want = if (m >> var) & 1 == 1 { f1.eval(sub) } else { f0.eval(sub) };
+            prop_assert_eq!(f.eval(m), want);
+        }
+    }
+
+    /// AIG simulation agrees with direct truth-table evaluation.
+    #[test]
+    fn aig_matches_truth_table(bits in 0u64..=0xFF) {
+        let f = TruthTable::new(3, bits);
+        let mut aig = Aig::new();
+        let pis: Vec<Lit> = (0..3).map(|_| aig.add_pi()).collect();
+        let y = aig.build_function(f, &pis);
+        let vals = aig.simulate(&[0xAA, 0xCC, 0xF0]);
+        prop_assert_eq!(Aig::lit_value(y, &vals) & 0xFF, f.bits());
+    }
+
+    /// PODEM's detected patterns really detect (cross-checked against the
+    /// independent fault simulator), and `Undetectable` verdicts have no
+    /// detecting pattern among 256 random ones.
+    #[test]
+    fn atpg_verdicts_are_sound(bits in 1u64..0xFFFF, seed in 0u64..1000) {
+        let f = TruthTable::new(4, bits);
+        let nl = map_function(f);
+        let view = nl.comb_view().unwrap();
+        // Target every net stuck-at both values.
+        let mut faults = Vec::new();
+        for (id, net) in nl.nets() {
+            if net.driver.is_some() && !matches!(net.driver, Some(rsyn::netlist::Driver::Const(_))) {
+                faults.push(Fault::external(FaultKind::StuckAt { net: id, value: false }, 0));
+                faults.push(Fault::external(FaultKind::StuckAt { net: id, value: true }, 0));
+            }
+        }
+        let result = run_atpg(&nl, &view, &faults, &AtpgOptions { seed, ..Default::default() });
+        // Detected faults are covered by the final test set.
+        let covered = rsyn::atpg::engine::covers(&nl, &view, &faults, &result.tests);
+        for (fi, status) in result.statuses.iter().enumerate() {
+            match status {
+                FaultStatus::Detected => prop_assert!(covered[fi], "fault {} not covered", fi),
+                FaultStatus::Undetectable => {
+                    prop_assert!(!covered[fi], "undetectable fault {} detected by a test", fi);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// PODEM verdicts agree with ground-truth exhaustive enumeration on
+    /// random small circuits, for every stuck-at fault and a sample of
+    /// cell-aware conditions — the soundness property the paper's `U`
+    /// counts depend on.
+    #[test]
+    fn podem_matches_exhaustive_ground_truth(seed in 0u64..40) {
+        use rsyn::atpg::exhaustive_detectable;
+        use rsyn::atpg::fault::CellCondition;
+        // Random 8-PI circuit with reconvergence and redundancy sources.
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("x", lib.clone());
+        let mut nets: Vec<NetId> = (0..8).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let cells = ["NAND2X1", "NOR2X1", "XOR2X1", "AOI21X1", "OAI21X1", "AND2X2", "MUX2X1"];
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut gate_ids = Vec::new();
+        for k in 0..24 {
+            let cell = lib.cell_id(cells[(next() % cells.len() as u64) as usize]).unwrap();
+            let nin = lib.cell(cell).input_count();
+            let ins: Vec<NetId> =
+                (0..nin).map(|_| nets[(next() % nets.len() as u64) as usize]).collect();
+            let out = nl.add_net();
+            let g = nl.add_gate(format!("g{k}"), cell, &ins, &[out]).unwrap();
+            gate_ids.push(g);
+            nets.push(out);
+        }
+        // Observe only the last few nets so masking occurs.
+        for &n in nets.iter().rev().take(3) {
+            nl.mark_output(n);
+        }
+        let view = nl.comb_view().unwrap();
+        let mut faults = Vec::new();
+        for &n in nets.iter().skip(8) {
+            faults.push(Fault::external(FaultKind::StuckAt { net: n, value: next() % 2 == 0 }, 0));
+        }
+        // A few cell-aware single-pattern conditions.
+        for _ in 0..6 {
+            let g = gate_ids[(next() % gate_ids.len() as u64) as usize];
+            let nin = lib.cell(nl.gate(g).unwrap().cell).input_count();
+            let pattern = next() % (1 << nin);
+            faults.push(Fault::internal(g, vec![CellCondition { pattern, output: 0 }], 0));
+        }
+        let result = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        for (fi, fault) in faults.iter().enumerate() {
+            let truth = exhaustive_detectable(&nl, &view, fault).expect("8 PIs");
+            match result.statuses[fi] {
+                FaultStatus::Detected => prop_assert!(truth, "fault {} falsely detected", fi),
+                FaultStatus::Undetectable => {
+                    prop_assert!(!truth, "fault {} falsely proven undetectable", fi)
+                }
+                FaultStatus::Aborted => {} // inconclusive is allowed
+                FaultStatus::Undetected => prop_assert!(false, "fault {} left unprocessed", fi),
+            }
+        }
+    }
+
+    /// Clustering is a partition: every subset fault appears in exactly one
+    /// cluster, and cluster sizes sum to the subset size.
+    #[test]
+    fn clustering_is_a_partition(n_faults in 1usize..20, seed in 0u64..100) {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("c", lib.clone());
+        let mut nets = vec![nl.add_input("a"), nl.add_input("b")];
+        let nand = lib.cell_id("NAND2X1").unwrap();
+        for i in 0..30 {
+            let y = nl.add_net();
+            let s = seed as usize;
+            nl.add_gate(
+                format!("g{i}"),
+                nand,
+                &[nets[(i * 7 + s) % nets.len()], nets[(i * 3 + s + 1) % nets.len()]],
+                &[y],
+            )
+            .unwrap();
+            nets.push(y);
+        }
+        let last = *nets.last().unwrap();
+        nl.mark_output(last);
+        let faults: Vec<Fault> = (0..n_faults)
+            .map(|k| {
+                let net = nets[2 + (k * 5 + seed as usize) % (nets.len() - 2)];
+                Fault::external(FaultKind::StuckAt { net, value: k % 2 == 0 }, 0)
+            })
+            .collect();
+        let subset: Vec<usize> = (0..faults.len()).collect();
+        let clusters = cluster_faults(&nl, &faults, &subset);
+        let total: usize = clusters.size_distribution().iter().sum();
+        prop_assert_eq!(total, subset.len());
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters.clusters {
+            for &i in c {
+                prop_assert!(seen.insert(i), "fault {} in two clusters", i);
+            }
+        }
+        // Sizes are sorted descending.
+        let dist = clusters.size_distribution();
+        prop_assert!(dist.windows(2).all(|w| w[0] >= w[1]));
+    }
+}
