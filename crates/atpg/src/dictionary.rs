@@ -1,6 +1,6 @@
 //! Fault dictionaries: which test detects which fault.
 //!
-//! The paper's companion work [8] diagnoses silicon failures by matching
+//! The paper's companion work \[8\] diagnoses silicon failures by matching
 //! tester fail signatures against a precomputed fault dictionary. This
 //! module builds the pass/fail dictionary for a test set and provides the
 //! matching query used in such volume-diagnosis flows.
@@ -114,8 +114,13 @@ mod tests {
         let nand = lib.cell_id("NAND2X1").unwrap();
         for k in 0..10 {
             let out = nl.add_net();
-            nl.add_gate(format!("g{k}"), nand, &[nets[k % nets.len()], nets[(k * 3 + 1) % nets.len()]], &[out])
-                .unwrap();
+            nl.add_gate(
+                format!("g{k}"),
+                nand,
+                &[nets[k % nets.len()], nets[(k * 3 + 1) % nets.len()]],
+                &[out],
+            )
+            .unwrap();
             nets.push(out);
         }
         let last = *nets.last().unwrap();

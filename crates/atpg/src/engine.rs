@@ -1,5 +1,20 @@
 //! The full ATPG flow: random phase with fault dropping, deterministic
-//! PODEM phase, and reverse-order test-set compaction.
+//! PODEM phase, and reverse-order test-set compaction — executed over a
+//! sharded fault list so independent shards run on worker threads.
+//!
+//! # Parallelism and determinism
+//!
+//! The fault list is split into contiguous shards whose boundaries depend
+//! only on the fault count — never on the thread count. Each shard runs
+//! the complete random + PODEM pipeline with its own [`FaultSim`] and
+//! [`Podem`] instance and an RNG stream derived from
+//! `(options.seed, shard_index)`; shard results are merged back in fault
+//! order and compacted globally. Because no state flows between shards and
+//! the merge order is fixed, [`run_atpg`] returns bit-identical results
+//! for every `threads` setting, including 1.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,11 +36,32 @@ pub struct AtpgOptions {
     pub seed: u64,
     /// Whether to run reverse-order test compaction.
     pub compact: bool,
+    /// Worker threads for fault-sharded evaluation; `0` means
+    /// [`std::thread::available_parallelism`]. Results are identical for
+    /// every value (see the module docs).
+    pub threads: usize,
 }
 
 impl Default for AtpgOptions {
     fn default() -> Self {
-        Self { random_words: 8, backtrack_limit: 256, seed: 0xDA7E, compact: true }
+        Self { random_words: 8, backtrack_limit: 256, seed: 0xDA7E, compact: true, threads: 0 }
+    }
+}
+
+impl AtpgOptions {
+    /// The worker-thread count this option set resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// Returns a copy with `threads` set.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -124,18 +160,126 @@ pub fn covers(nl: &Netlist, view: &CombView, faults: &[Fault], tests: &TestSet) 
     covered
 }
 
+/// Smallest shard worth its per-shard `FaultSim`/`Podem` setup cost.
+const MIN_SHARD_FAULTS: usize = 32;
+
+/// Upper bound on shard count (bounds merge overhead on huge fault lists).
+const MAX_SHARDS: usize = 64;
+
+/// Splits `0..n` into contiguous shard ranges. The split depends only on
+/// `n`, never on the thread count — the cornerstone of deterministic
+/// parallel ATPG.
+fn shard_spans(n: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let size = n.div_ceil(MAX_SHARDS).max(MIN_SHARD_FAULTS);
+    (0..n.div_ceil(size)).map(|i| i * size..((i + 1) * size).min(n)).collect()
+}
+
+/// Derives shard `i`'s RNG seed. Shard 0 keeps the user seed unchanged so
+/// a single-shard run reproduces the historical serial engine exactly.
+fn shard_seed(seed: u64, shard: u64) -> u64 {
+    if shard == 0 {
+        return seed;
+    }
+    // SplitMix64 over the (seed, shard) pair.
+    let mut z = seed ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One shard's contribution before the merge.
+struct ShardPart {
+    statuses: Vec<FaultStatus>,
+    tests: TestSet,
+}
+
 /// Runs the full ATPG flow on a fault list.
 ///
 /// Fault statuses come back parallel to `faults`; `Undetectable` is a proof
 /// (complete PODEM search), `Aborted` marks backtrack-limit hits.
-pub fn run_atpg(nl: &Netlist, view: &CombView, faults: &[Fault], options: &AtpgOptions) -> AtpgResult {
+///
+/// The fault list is evaluated in deterministic shards spread over
+/// `options.threads` workers (see the module docs); the returned result is
+/// bit-identical for every thread count.
+pub fn run_atpg(
+    nl: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    options: &AtpgOptions,
+) -> AtpgResult {
+    let spans = shard_spans(faults.len());
+    let mut parts: Vec<Option<ShardPart>> = Vec::new();
+    let workers = options.effective_threads().min(spans.len()).max(1);
+    if workers <= 1 {
+        for (i, span) in spans.iter().enumerate() {
+            parts.push(Some(run_shard(
+                nl,
+                view,
+                &faults[span.clone()],
+                options,
+                shard_seed(options.seed, i as u64),
+            )));
+        }
+    } else {
+        let slots: Vec<Mutex<Option<ShardPart>>> = spans.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(span) = spans.get(i) else { break };
+                    let part = run_shard(
+                        nl,
+                        view,
+                        &faults[span.clone()],
+                        options,
+                        shard_seed(options.seed, i as u64),
+                    );
+                    *slots[i].lock().expect("shard slot") = Some(part);
+                });
+            }
+        });
+        parts = slots.into_iter().map(|s| s.into_inner().expect("shard slot")).collect();
+    }
+
+    // Merge in shard (= fault) order: statuses concatenate back into a
+    // vector parallel to `faults`, test sets concatenate shard by shard
+    // (transition launch patterns stay adjacent to their initialisation
+    // patterns because pairs never straddle a shard boundary).
+    let mut statuses = Vec::with_capacity(faults.len());
+    let mut tests = TestSet::new();
+    for part in parts {
+        let part = part.expect("all shards computed");
+        statuses.extend(part.statuses);
+        tests.extend(part.tests.patterns().iter().cloned());
+    }
+
+    // --- compaction -----------------------------------------------------------------
+    if options.compact && !tests.is_empty() {
+        compact(nl, view, faults, &statuses, &mut tests);
+    }
+
+    AtpgResult { statuses, tests }
+}
+
+/// The serial random + PODEM pipeline over one shard of the fault list.
+fn run_shard(
+    nl: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    options: &AtpgOptions,
+    seed: u64,
+) -> ShardPart {
     let mut statuses = vec![FaultStatus::Undetected; faults.len()];
     let mut tests = TestSet::new();
     let mut sim = FaultSim::new(nl, view);
     let npis = view.pis.len();
 
     // --- random phase ---------------------------------------------------------
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..options.random_words {
         let lanes: Vec<u64> = (0..npis).map(|_| rng.gen()).collect();
         sim.set_patterns(&lanes);
@@ -252,12 +396,7 @@ pub fn run_atpg(nl: &Netlist, view: &CombView, faults: &[Fault], options: &AtpgO
         drop_faults(&mut sim, faults, &mut statuses, &drop_buffer, npis);
     }
 
-    // --- compaction -----------------------------------------------------------------
-    if options.compact && !tests.is_empty() {
-        compact(nl, view, faults, &statuses, &mut tests);
-    }
-
-    AtpgResult { statuses, tests }
+    ShardPart { statuses, tests }
 }
 
 fn lane_pattern(lanes: &[u64], lane: usize, npis: usize) -> Pattern {
@@ -311,7 +450,13 @@ fn drop_faults(
 /// Reverse-order compaction: walk tests from last to first, keeping a test
 /// only if it detects a fault no later-kept test detects. Initialisation
 /// predecessors of kept transition-detecting tests are kept as well.
-fn compact(nl: &Netlist, view: &CombView, faults: &[Fault], statuses: &[FaultStatus], tests: &mut TestSet) {
+pub(crate) fn compact(
+    nl: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    statuses: &[FaultStatus],
+    tests: &mut TestSet,
+) {
     let npis = view.pis.len();
     let detected: Vec<usize> = statuses
         .iter()
@@ -477,12 +622,8 @@ mod tests {
         let nl = build_circuit();
         let view = nl.comb_view().unwrap();
         let faults = all_stuck_at(&nl);
-        let uncompacted = run_atpg(
-            &nl,
-            &view,
-            &faults,
-            &AtpgOptions { compact: false, ..Default::default() },
-        );
+        let uncompacted =
+            run_atpg(&nl, &view, &faults, &AtpgOptions { compact: false, ..Default::default() });
         let compacted = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
         assert!(compacted.tests.len() <= uncompacted.tests.len());
         assert_eq!(compacted.detected_count(), uncompacted.detected_count());
@@ -519,6 +660,72 @@ mod tests {
         let b = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
         assert_eq!(a.statuses, b.statuses);
         assert_eq!(a.tests.len(), b.tests.len());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        // Replicate the fault list so it spans several shards.
+        let base = all_stuck_at(&nl);
+        let mut faults = Vec::new();
+        for _ in 0..4 {
+            faults.extend(base.iter().cloned());
+        }
+        let reference = run_atpg(&nl, &view, &faults, &AtpgOptions::default().with_threads(1));
+        for threads in [2, 4, 8] {
+            let r = run_atpg(&nl, &view, &faults, &AtpgOptions::default().with_threads(threads));
+            assert_eq!(r.statuses, reference.statuses, "threads={threads} diverged");
+            assert_eq!(
+                r.tests.patterns(),
+                reference.tests.patterns(),
+                "threads={threads} test set diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_spans_cover_exactly() {
+        for n in [0usize, 1, 31, 32, 33, 64, 1000, 64 * 32, 64 * 32 + 1, 10_000] {
+            let spans = shard_spans(n);
+            let mut next = 0usize;
+            for s in &spans {
+                assert_eq!(s.start, next, "n={n}");
+                assert!(s.end > s.start, "n={n}");
+                next = s.end;
+            }
+            assert_eq!(next, n, "n={n}");
+            assert!(spans.len() <= MAX_SHARDS + 1, "n={n}: {} shards", spans.len());
+        }
+    }
+
+    #[test]
+    fn shard_seed_distinct_and_stable() {
+        assert_eq!(shard_seed(0xDA7E, 0), 0xDA7E, "shard 0 keeps the user seed");
+        let seeds: Vec<u64> = (0..64).map(|i| shard_seed(0xDA7E, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "shard seeds collide");
+    }
+
+    #[test]
+    fn sharded_run_covers_all_detected() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let base = all_stuck_at(&nl);
+        let mut faults = Vec::new();
+        for _ in 0..4 {
+            faults.extend(base.iter().cloned());
+        }
+        assert!(shard_spans(faults.len()).len() > 1, "test needs multiple shards");
+        let r = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        let covered = covers(&nl, &view, &faults, &r.tests);
+        for (fi, s) in r.statuses.iter().enumerate() {
+            if *s == FaultStatus::Detected {
+                assert!(covered[fi], "fault {fi} uncovered after sharded run");
+            }
+        }
     }
 
     #[test]

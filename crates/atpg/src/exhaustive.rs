@@ -144,7 +144,9 @@ mod tests {
         for (fi, fault) in faults.iter().enumerate() {
             let truth = exhaustive_detectable(&nl, &view, fault).expect("small circuit");
             match result.statuses[fi] {
-                FaultStatus::Detected => assert!(truth, "fault {fi} detected but truly undetectable"),
+                FaultStatus::Detected => {
+                    assert!(truth, "fault {fi} detected but truly undetectable")
+                }
                 FaultStatus::Undetectable => {
                     assert!(!truth, "fault {fi} proven undetectable but a test exists")
                 }

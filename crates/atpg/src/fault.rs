@@ -15,7 +15,7 @@ pub enum BridgeKind {
 /// One detection condition of a cell-aware (UDFM) fault: when the cell's
 /// inputs carry `pattern`, output pin `output` flips.
 ///
-/// This is exactly the user-defined-fault-model form of [9]/[11]: a
+/// This is exactly the user-defined-fault-model form of \[9\]/\[11\]: a
 /// required cell input pattern plus a faulty output response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CellCondition {
@@ -26,7 +26,7 @@ pub struct CellCondition {
 }
 
 /// The behavioural fault model.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// Net permanently at `value`.
     StuckAt {
@@ -62,7 +62,7 @@ pub enum FaultKind {
 
 /// Whether the fault is internal or external to a standard cell (the
 /// paper's central distinction: internal faults travel with cell choice).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FaultOrigin {
     /// Inside one standard-cell instance.
     Internal {
@@ -77,7 +77,7 @@ pub enum FaultOrigin {
 }
 
 /// A target fault with provenance.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Fault {
     /// Behavioural model.
     pub kind: FaultKind,

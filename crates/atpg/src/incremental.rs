@@ -1,0 +1,298 @@
+//! Cone-of-influence incremental ATPG.
+//!
+//! The resynthesis inner loop (Section III-B of the paper) re-evaluates a
+//! full design candidate for every banned-cell prefix, and each evaluation
+//! used to re-run ATPG on the *entire* DFM fault set. But a candidate only
+//! replaces one window of gates with a functionally equivalent
+//! implementation: a fault whose site cannot reach the remapped region —
+//! and which already existed, verbatim, in the previous fault set — keeps
+//! its classification. [`run_atpg_incremental`] exploits this by
+//! re-simulating only the faults in the remapped window's cone of
+//! influence (the window's gates plus their transitive fanout) and any
+//! fault with no match in the previous fault set, carrying every other
+//! status over from the previous [`AtpgResult`].
+//!
+//! Carried-over `Detected` classifications are additionally *verified*
+//! against the merged test set with [`covers`]; any fault the merged tests
+//! no longer detect (possible only if the remap was not perfectly
+//! equivalence-preserving) is re-run through the full engine, so the
+//! engine's invariant — the final test set covers every fault reported
+//! detected — holds unconditionally.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rsyn_netlist::{CombView, GateId, NetId, Netlist};
+
+use crate::engine::{compact, covers, run_atpg, AtpgOptions, AtpgResult};
+use crate::fault::{Fault, FaultKind, FaultOrigin, FaultStatus};
+use crate::testset::TestSet;
+
+/// The previous evaluation an incremental run carries statuses over from.
+#[derive(Clone, Copy, Debug)]
+pub struct PreviousEvaluation<'a> {
+    /// The previous fault list.
+    pub faults: &'a [Fault],
+    /// The previous ATPG result (statuses parallel to `faults`).
+    pub result: &'a AtpgResult,
+}
+
+/// The cone of influence of a set of remapped gates: the gates themselves
+/// plus their transitive fanout, with every net they drive.
+#[derive(Clone, Debug, Default)]
+pub struct Cone {
+    gates: HashSet<GateId>,
+    nets: HashSet<NetId>,
+}
+
+impl Cone {
+    /// Computes the cone of `changed` in `nl`. Gate ids not present in the
+    /// netlist (e.g. the ids of *removed* window gates) are kept in the
+    /// gate set — faults still referencing them must always re-run.
+    pub fn of_changed_gates(nl: &Netlist, changed: &[GateId]) -> Self {
+        let mut gates: HashSet<GateId> = changed.iter().copied().collect();
+        let mut nets: HashSet<NetId> = HashSet::new();
+        let mut queue: VecDeque<GateId> =
+            changed.iter().copied().filter(|&g| nl.gate(g).is_some()).collect();
+        let mut seen: HashSet<GateId> = queue.iter().copied().collect();
+        while let Some(g) = queue.pop_front() {
+            let gate = nl.gate(g).expect("queued gates are live");
+            nets.extend(gate.outputs.iter().copied());
+            for sink in nl.fanout_gates(g) {
+                if seen.insert(sink) {
+                    gates.insert(sink);
+                    queue.push_back(sink);
+                }
+            }
+        }
+        Self { gates, nets }
+    }
+
+    /// True if the fault's support (site nets / site gate) intersects the
+    /// cone, i.e. the fault's behaviour may have changed.
+    pub fn touches(&self, fault: &Fault) -> bool {
+        let kind_hit = match &fault.kind {
+            FaultKind::StuckAt { net, .. } | FaultKind::Transition { net, .. } => {
+                self.nets.contains(net)
+            }
+            FaultKind::Bridge { a, b, .. } => self.nets.contains(a) || self.nets.contains(b),
+            FaultKind::CellAware { gate, .. } => self.gates.contains(gate),
+        };
+        if kind_hit {
+            return true;
+        }
+        match &fault.origin {
+            FaultOrigin::Internal { gate } => self.gates.contains(gate),
+            FaultOrigin::External { nets } => nets.iter().any(|n| self.nets.contains(n)),
+        }
+    }
+
+    /// Number of gates in the cone.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+/// Flags the faults an incremental run must re-evaluate: those touching
+/// the cone of `changed_gates` plus those absent from `previous`.
+pub fn affected_faults(
+    nl: &Netlist,
+    faults: &[Fault],
+    previous: &PreviousEvaluation<'_>,
+    changed_gates: &[GateId],
+) -> Vec<bool> {
+    let cone = Cone::of_changed_gates(nl, changed_gates);
+    let prev_index: HashMap<&Fault, usize> =
+        previous.faults.iter().enumerate().map(|(i, f)| (f, i)).collect();
+    faults.iter().map(|f| cone.touches(f) || !prev_index.contains_key(f)).collect()
+}
+
+/// Incremental [`run_atpg`]: re-evaluates only the faults affected by the
+/// remap of `changed_gates`, carrying all other statuses over from
+/// `previous` and reusing its test set.
+///
+/// Falls back to a full run when the primary-input interface changed (the
+/// previous patterns would not apply) or when there is no previous result
+/// to carry from.
+pub fn run_atpg_incremental(
+    nl: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    options: &AtpgOptions,
+    previous: &PreviousEvaluation<'_>,
+    changed_gates: &[GateId],
+) -> AtpgResult {
+    let prev_pi_len = previous.result.tests.patterns().first().map(crate::testset::Pattern::len);
+    let interface_changed = prev_pi_len.is_some_and(|n| n != view.pis.len());
+    if previous.faults.len() != previous.result.statuses.len() || interface_changed {
+        return run_atpg(nl, view, faults, options);
+    }
+
+    let prev_index: HashMap<&Fault, usize> =
+        previous.faults.iter().enumerate().map(|(i, f)| (f, i)).collect();
+    let cone = Cone::of_changed_gates(nl, changed_gates);
+
+    let mut statuses = vec![FaultStatus::Undetected; faults.len()];
+    let mut rerun: Vec<usize> = Vec::new();
+    for (i, f) in faults.iter().enumerate() {
+        match prev_index.get(f) {
+            Some(&pi) if !cone.touches(f) => statuses[i] = previous.result.statuses[pi],
+            _ => rerun.push(i),
+        }
+    }
+
+    // Re-run the affected subset through the (parallel) engine, without
+    // per-subset compaction: compaction happens once, globally, below.
+    let sub_options = AtpgOptions { compact: false, ..*options };
+    let sub_faults: Vec<Fault> = rerun.iter().map(|&i| faults[i].clone()).collect();
+    let sub = run_atpg(nl, view, &sub_faults, &sub_options);
+    for (k, &i) in rerun.iter().enumerate() {
+        statuses[i] = sub.statuses[k];
+    }
+
+    let mut tests: TestSet = previous.result.tests.patterns().iter().cloned().collect();
+    tests.extend(sub.tests.patterns().iter().cloned());
+
+    // Safety net: verify every carried-over detection against the merged
+    // tests in the *new* netlist; rescue any that no longer reproduce.
+    let rerun_set: HashSet<usize> = rerun.into_iter().collect();
+    if !tests.is_empty() {
+        let covered = covers(nl, view, faults, &tests);
+        let rescue: Vec<usize> = (0..faults.len())
+            .filter(|i| {
+                statuses[*i] == FaultStatus::Detected && !covered[*i] && !rerun_set.contains(i)
+            })
+            .collect();
+        if !rescue.is_empty() {
+            let rescue_faults: Vec<Fault> = rescue.iter().map(|&i| faults[i].clone()).collect();
+            let rescued = run_atpg(nl, view, &rescue_faults, &sub_options);
+            for (k, &i) in rescue.iter().enumerate() {
+                statuses[i] = rescued.statuses[k];
+            }
+            tests.extend(rescued.tests.patterns().iter().cloned());
+        }
+    }
+
+    if options.compact && !tests.is_empty() {
+        compact(nl, view, faults, &statuses, &mut tests);
+    }
+
+    AtpgResult { statuses, tests }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsyn_netlist::Library;
+
+    /// Two independent output cones: `x = !(a·b)` and `y = !(c·d)`, with a
+    /// redundant constant branch on the second cone.
+    fn split_circuit() -> Netlist {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("split", lib.clone());
+        let nand = lib.cell_id("NAND2X1").unwrap();
+        let inv = lib.cell_id("INVX1").unwrap();
+        let and = lib.cell_id("AND2X2").unwrap();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let x = nl.add_named_net("x");
+        nl.add_gate("gx", nand, &[a, b], &[x]).unwrap();
+        nl.mark_output(x);
+        let y = nl.add_named_net("y");
+        nl.add_gate("gy", nand, &[c, d], &[y]).unwrap();
+        nl.mark_output(y);
+        // Redundant: r = c & !c, constant 0.
+        let cn = nl.add_net();
+        nl.add_gate("gi", inv, &[c], &[cn]).unwrap();
+        let r = nl.add_named_net("r");
+        nl.add_gate("gr", and, &[c, cn], &[r]).unwrap();
+        nl.mark_output(r);
+        nl
+    }
+
+    fn stuck_at_faults(nl: &Netlist) -> Vec<Fault> {
+        let mut out = Vec::new();
+        for (id, net) in nl.nets() {
+            if matches!(net.driver, Some(rsyn_netlist::Driver::Gate(..))) {
+                for v in [false, true] {
+                    out.push(Fault::external(FaultKind::StuckAt { net: id, value: v }, 0));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cone_contains_fanout_not_siblings() {
+        let nl = split_circuit();
+        let gx = nl.find_gate("gx").unwrap();
+        let cone = Cone::of_changed_gates(&nl, &[gx]);
+        let x = nl.find_net("x").unwrap();
+        let y = nl.find_net("y").unwrap();
+        assert!(cone.nets.contains(&x));
+        assert!(!cone.nets.contains(&y));
+        assert!(cone.gates.contains(&gx));
+        assert!(!cone.gates.contains(&nl.find_gate("gy").unwrap()));
+    }
+
+    #[test]
+    fn incremental_matches_full_run() {
+        let nl = split_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = stuck_at_faults(&nl);
+        let options = AtpgOptions::default();
+        let full = run_atpg(&nl, &view, &faults, &options);
+
+        // Pretend gate `gx` was just remapped (to itself): the incremental
+        // run may only re-evaluate the x-cone, yet must reproduce the full
+        // classification.
+        let previous = PreviousEvaluation { faults: &faults, result: &full };
+        let gx = nl.find_gate("gx").unwrap();
+        let inc = run_atpg_incremental(&nl, &view, &faults, &options, &previous, &[gx]);
+        assert_eq!(inc.statuses, full.statuses);
+        let covered = covers(&nl, &view, &faults, &inc.tests);
+        for (i, s) in inc.statuses.iter().enumerate() {
+            if *s == FaultStatus::Detected {
+                assert!(covered[i], "fault {i} detected but uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn affected_faults_are_cone_limited() {
+        let nl = split_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = stuck_at_faults(&nl);
+        let full = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        let previous = PreviousEvaluation { faults: &faults, result: &full };
+        let gy = nl.find_gate("gy").unwrap();
+        let affected = affected_faults(&nl, &faults, &previous, &[gy]);
+        let x = nl.find_net("x").unwrap();
+        let y = nl.find_net("y").unwrap();
+        for (i, f) in faults.iter().enumerate() {
+            if let FaultKind::StuckAt { net, .. } = f.kind {
+                if net == x {
+                    assert!(!affected[i], "sibling-cone fault flagged");
+                }
+                if net == y {
+                    assert!(affected[i], "changed-cone fault not flagged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn new_faults_always_rerun() {
+        let nl = split_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = stuck_at_faults(&nl);
+        let full = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        // Previous evaluation knew about none of the faults.
+        let empty_result = AtpgResult { statuses: Vec::new(), tests: TestSet::new() };
+        let previous = PreviousEvaluation { faults: &[], result: &empty_result };
+        let inc =
+            run_atpg_incremental(&nl, &view, &faults, &AtpgOptions::default(), &previous, &[]);
+        assert_eq!(inc.statuses, full.statuses);
+    }
+}

@@ -14,8 +14,12 @@
 //!   forward implication, X-path check) for arbitrary library cells; search
 //!   exhaustion is an undetectability *proof*, aborts are reported
 //!   separately and never counted as undetectable;
-//! * [`engine`] — the full flow: dedupe → random phase with fault dropping
-//!   → deterministic phase → reverse-order test compaction.
+//! * [`engine`] — the full flow: fault sharding → random phase with fault
+//!   dropping → deterministic phase → reverse-order test compaction, run
+//!   over a deterministic thread pool ([`AtpgOptions::threads`]);
+//! * [`incremental`] — cone-of-influence incremental re-evaluation for the
+//!   resynthesis inner loop: only faults reachable from a remapped window
+//!   are re-simulated.
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@ pub mod dictionary;
 pub mod engine;
 pub mod exhaustive;
 pub mod fault;
+pub mod incremental;
 pub mod podem;
 pub mod sim;
 pub mod tester;
@@ -54,6 +59,7 @@ pub use dictionary::FaultDictionary;
 pub use engine::{run_atpg, AtpgOptions, AtpgResult};
 pub use exhaustive::exhaustive_detectable;
 pub use fault::{BridgeKind, CellCondition, Fault, FaultKind, FaultOrigin, FaultStatus};
+pub use incremental::{affected_faults, run_atpg_incremental, Cone, PreviousEvaluation};
 pub use podem::{Podem, PodemOutcome};
 pub use sim::FaultSim;
 pub use tester::TesterTime;

@@ -157,7 +157,9 @@ impl<'a> Podem<'a> {
                     let next = self
                         .objective(target, &req)
                         .and_then(|(net, v)| self.backtrace(net, v))
-                        .or_else(|| self.assignment.iter().position(Option::is_none).map(|pi| (pi, false)));
+                        .or_else(|| {
+                            self.assignment.iter().position(Option::is_none).map(|pi| (pi, false))
+                        });
                     match next {
                         Some((pi, v)) => {
                             self.assignment[pi] = Some(v);
@@ -259,7 +261,9 @@ impl<'a> Podem<'a> {
                     Target::StuckAt { net, value } if gate.outputs[k] == *net => {
                         v = Tri::from_bool(*value);
                     }
-                    Target::CellCondition { gate: fg, cond } if gid == *fg && cond.output as usize == k => {
+                    Target::CellCondition { gate: fg, cond }
+                        if gid == *fg && cond.output as usize == k =>
+                    {
                         v = match match_status(&ins, cond.pattern) {
                             MatchStatus::Yes => v.not(),
                             MatchStatus::No => v,
@@ -395,10 +399,7 @@ impl<'a> Podem<'a> {
                 continue;
             }
             let cell = self.nl.lib().cell(gate.cell);
-            let some_out_open = gate
-                .outputs
-                .iter()
-                .any(|&o| self.vals[o.index()].has_unknown());
+            let some_out_open = gate.outputs.iter().any(|&o| self.vals[o.index()].has_unknown());
             if !some_out_open {
                 continue;
             }
@@ -420,7 +421,13 @@ impl<'a> Podem<'a> {
 
     /// Checks whether fixing input `i` of `gate` to `v` (both machines) can
     /// still yield differing outputs for some completion of the unknowns.
-    fn sensitizes(&self, cell: &rsyn_netlist::Cell, gate: &rsyn_netlist::Gate, i: usize, v: bool) -> bool {
+    fn sensitizes(
+        &self,
+        cell: &rsyn_netlist::Cell,
+        gate: &rsyn_netlist::Gate,
+        i: usize,
+        v: bool,
+    ) -> bool {
         let mut g_ins: Vec<Tri> = gate.inputs.iter().map(|&n| self.vals[n.index()].good).collect();
         let mut f_ins: Vec<Tri> =
             gate.inputs.iter().map(|&n| self.vals[n.index()].faulty).collect();
@@ -428,9 +435,8 @@ impl<'a> Podem<'a> {
         f_ins[i] = Tri::from_bool(v);
         // Enumerate joint completions where unknowns take equal values in
         // both machines (a safe approximation for the heuristic).
-        let unknown: Vec<usize> = (0..g_ins.len())
-            .filter(|&k| g_ins[k] == Tri::U || f_ins[k] == Tri::U)
-            .collect();
+        let unknown: Vec<usize> =
+            (0..g_ins.len()).filter(|&k| g_ins[k] == Tri::U || f_ins[k] == Tri::U).collect();
         for comp in 0..(1u64 << unknown.len()) {
             let mut g = g_ins.clone();
             let mut f = f_ins.clone();
@@ -506,7 +512,11 @@ enum Eval {
 
 /// Chronological backtracking over the decision stack. Returns `false` when
 /// the search space is exhausted.
-fn backtrack(decisions: &mut Vec<Decision>, assignment: &mut [Option<bool>], backtracks: &mut usize) -> bool {
+fn backtrack(
+    decisions: &mut Vec<Decision>,
+    assignment: &mut [Option<bool>],
+    backtracks: &mut usize,
+) -> bool {
     loop {
         match decisions.last_mut() {
             None => return false,
@@ -601,11 +611,7 @@ fn requirements(nl: &Netlist, target: &Target) -> Vec<(NetId, bool)> {
         }
         Target::CellCondition { gate, cond } => {
             let g = nl.gate(*gate).expect("live gate");
-            g.inputs
-                .iter()
-                .enumerate()
-                .map(|(i, &n)| (n, (cond.pattern >> i) & 1 == 1))
-                .collect()
+            g.inputs.iter().enumerate().map(|(i, &n)| (n, (cond.pattern >> i) & 1 == 1)).collect()
         }
     }
 }
@@ -730,10 +736,7 @@ mod tests {
         nl.mark_output(y);
         let view = nl.comb_view().unwrap();
         let mut podem = Podem::new(&nl, &view, 1000);
-        assert_eq!(
-            podem.run(&Target::StuckAt { net: y, value: true }),
-            PodemOutcome::Undetectable
-        );
+        assert_eq!(podem.run(&Target::StuckAt { net: y, value: true }), PodemOutcome::Undetectable);
     }
 
     #[test]

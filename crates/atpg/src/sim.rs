@@ -294,10 +294,7 @@ mod tests {
         fs.set_patterns(&exhaustive_lanes());
         let a = nl.find_net("a").unwrap();
         let b = nl.find_net("b").unwrap();
-        let f = Fault::external(
-            FaultKind::Bridge { a, b, kind: BridgeKind::WiredAnd },
-            0,
-        );
+        let f = Fault::external(FaultKind::Bridge { a, b, kind: BridgeKind::WiredAnd }, 0);
         let det = fs.detect_lanes(&f);
         // wired-AND corrupts lanes where a != b (lanes 1 and 2).
         assert_eq!(det & 0xF, 0b0110);

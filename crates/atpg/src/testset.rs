@@ -170,9 +170,7 @@ mod tests {
 
     #[test]
     fn retain_indices_keeps_order() {
-        let mut ts: TestSet = (0..5)
-            .map(|i| Pattern::from_bools(&[(i % 2) == 0]))
-            .collect();
+        let mut ts: TestSet = (0..5).map(|i| Pattern::from_bools(&[(i % 2) == 0])).collect();
         ts.retain_indices(&[0, 3]);
         assert_eq!(ts.len(), 2);
         assert!(ts.patterns()[0].get(0));

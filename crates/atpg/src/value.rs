@@ -42,13 +42,22 @@ impl Tri {
         }
     }
 
-    /// Three-valued negation.
+    /// Three-valued negation (also available via the `!` operator).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             Tri::F => Tri::T,
             Tri::T => Tri::F,
             Tri::U => Tri::U,
         }
+    }
+}
+
+impl std::ops::Not for Tri {
+    type Output = Tri;
+
+    fn not(self) -> Tri {
+        Tri::not(self)
     }
 }
 
@@ -116,10 +125,7 @@ impl Val {
 
     /// True if both machine values are known and differ (a fault effect).
     pub fn is_effect(self) -> bool {
-        matches!(
-            (self.good, self.faulty),
-            (Tri::T, Tri::F) | (Tri::F, Tri::T)
-        )
+        matches!((self.good, self.faulty), (Tri::T, Tri::F) | (Tri::F, Tri::T))
     }
 
     /// True if either component is unknown.

@@ -113,6 +113,60 @@ proptest! {
         prop_assert!(checked >= 4, "only {} detections", checked);
     }
 
+    /// The parallel engine is deterministic in the thread count: any
+    /// `threads` setting returns byte-identical `FaultStatus` vectors and
+    /// the identical test set, and the test set covers every detected
+    /// fault — the serial (`threads = 1`) engine is the reference.
+    #[test]
+    fn parallel_atpg_is_thread_count_invariant(seed in 0u64..24) {
+        let nl = random_netlist(seed, 24, 6);
+        let view = nl.comb_view().unwrap();
+        // A mixed fault list dense enough to span several shards.
+        let nets: Vec<NetId> = nl.nets().filter(|(_, n)| n.driver.is_some()).map(|(id, _)| id).collect();
+        let mut faults = Vec::new();
+        for (k, &n) in nets.iter().enumerate() {
+            faults.push(Fault::external(FaultKind::StuckAt { net: n, value: k % 2 == 0 }, 0));
+            faults.push(Fault::external(FaultKind::StuckAt { net: n, value: k % 2 == 1 }, 0));
+            if k % 3 == 0 {
+                faults.push(Fault::external(FaultKind::Transition { net: n, rising: k % 2 == 0 }, 0));
+            }
+        }
+        let serial = run_atpg(&nl, &view, &faults, &AtpgOptions::default().with_threads(1));
+        prop_assert!(serial.statuses.iter().all(|s| *s != FaultStatus::Undetected));
+        let serial_covered = rsyn_atpg::engine::covers(&nl, &view, &faults, &serial.tests);
+        for threads in [2usize, 4, 8] {
+            let par = run_atpg(&nl, &view, &faults, &AtpgOptions::default().with_threads(threads));
+            prop_assert_eq!(&par.statuses, &serial.statuses, "threads={}", threads);
+            prop_assert_eq!(par.tests.patterns(), serial.tests.patterns(), "threads={}", threads);
+            let covered = rsyn_atpg::engine::covers(&nl, &view, &faults, &par.tests);
+            for (fi, s) in par.statuses.iter().enumerate() {
+                if *s == FaultStatus::Detected {
+                    prop_assert!(covered[fi], "threads={} fault {} uncovered", threads, fi);
+                    prop_assert!(serial_covered[fi], "serial fault {} uncovered", fi);
+                }
+            }
+        }
+    }
+
+    /// Incremental re-evaluation with an empty change set reproduces the
+    /// full run exactly, for arbitrary netlists.
+    #[test]
+    fn incremental_noop_matches_full(seed in 0u64..24) {
+        let nl = random_netlist(seed, 20, 6);
+        let view = nl.comb_view().unwrap();
+        let nets: Vec<NetId> = nl.nets().filter(|(_, n)| n.driver.is_some()).map(|(id, _)| id).collect();
+        let mut faults = Vec::new();
+        for (k, &n) in nets.iter().enumerate() {
+            faults.push(Fault::external(FaultKind::StuckAt { net: n, value: k % 2 == 0 }, 0));
+        }
+        let full = run_atpg(&nl, &view, &faults, &AtpgOptions::default());
+        let previous = rsyn_atpg::incremental::PreviousEvaluation { faults: &faults, result: &full };
+        let inc = rsyn_atpg::incremental::run_atpg_incremental(
+            &nl, &view, &faults, &AtpgOptions::default(), &previous, &[],
+        );
+        prop_assert_eq!(&inc.statuses, &full.statuses);
+    }
+
     /// The engine's final test set covers every fault it reports detected,
     /// regardless of fault mix.
     #[test]

@@ -1,6 +1,7 @@
 //! Criterion bench: full ATPG (random phase + PODEM + compaction) on the
 //! benchmark circuits' complete DFM fault sets — the kernel behind every
-//! Table I / Table II cell.
+//! Table I / Table II cell — plus a worker-thread sweep demonstrating the
+//! parallel engine's speedup on the same workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rsyn_atpg::engine::{run_atpg, AtpgOptions};
@@ -20,5 +21,22 @@ fn bench_atpg(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_atpg);
+fn bench_atpg_threads(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("atpg_threads");
+    group.sample_size(10);
+    for name in ["sparc_tlu", "sparc_exu"] {
+        let state = analyzed(name, &ctx);
+        let view = state.nl.comb_view().unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let options = AtpgOptions::default().with_threads(threads);
+            group.bench_with_input(BenchmarkId::new(name, threads), &state, |b, state| {
+                b.iter(|| run_atpg(&state.nl, &view, &state.faults, &options));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atpg, bench_atpg_threads);
 criterion_main!(benches);

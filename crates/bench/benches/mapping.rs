@@ -13,11 +13,8 @@ fn bench_mapping(c: &mut Criterion) {
     let gates: Vec<_> = state.nl.gates().map(|(id, _)| id).collect();
     let full: Vec<_> = ctx.lib.comb_cells();
     let order = ctx.catalog.cells_by_internal_faults(&ctx.lib);
-    let restricted: Vec<_> = order[7..]
-        .iter()
-        .copied()
-        .filter(|&c| ctx.lib.cell(c).class == CellClass::Comb)
-        .collect();
+    let restricted: Vec<_> =
+        order[7..].iter().copied().filter(|&c| ctx.lib.cell(c).class == CellClass::Comb).collect();
 
     let mut group = c.benchmark_group("technology_mapping");
     group.sample_size(20);

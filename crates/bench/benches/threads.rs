@@ -1,0 +1,52 @@
+//! Criterion bench: thread-count sweep of the parallel fault-evaluation
+//! engine, and the cone-of-influence incremental path against a full
+//! re-evaluation — the two levers that keep the Section III-B candidate
+//! loop cheap (motivated by the in-design DFM scoring flows of
+//! PAPERS.md, which only work when per-candidate analysis is fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsyn_atpg::engine::{run_atpg, AtpgOptions};
+use rsyn_atpg::incremental::{run_atpg_incremental, PreviousEvaluation};
+use rsyn_bench::{analyzed, context};
+
+/// Fault-sharded engine at 1, 2, 4, and 8 workers on one circuit's full
+/// DFM fault set. Results are bit-identical across rows (asserted by the
+/// engine's proptests); only the wall clock should move.
+fn bench_threads_sweep(c: &mut Criterion) {
+    let ctx = context();
+    let state = analyzed("sparc_exu", &ctx);
+    let view = state.nl.comb_view().unwrap();
+    let mut group = c.benchmark_group("threads_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(state.faults.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let options = AtpgOptions::default().with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &state, |b, state| {
+            b.iter(|| run_atpg(&state.nl, &view, &state.faults, &options));
+        });
+    }
+    group.finish();
+}
+
+/// Incremental candidate re-evaluation (empty change set: the pure
+/// carry-over overhead of matching, coverage verification, and
+/// re-compaction) against a full ATPG re-run on the same fault set.
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let ctx = context();
+    let state = analyzed("sparc_tlu", &ctx);
+    let view = state.nl.comb_view().unwrap();
+    let options = AtpgOptions::default();
+    let mut group = c.benchmark_group("reeval");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("full"), &state, |b, state| {
+        b.iter(|| run_atpg(&state.nl, &view, &state.faults, &options));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("incremental"), &state, |b, state| {
+        let previous = PreviousEvaluation { faults: &state.faults, result: &state.atpg };
+        b.iter(|| run_atpg_incremental(&state.nl, &view, &state.faults, &options, &previous, &[]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads_sweep, bench_incremental_vs_full);
+criterion_main!(benches);

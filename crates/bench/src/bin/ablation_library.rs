@@ -16,11 +16,8 @@ use rsyn_netlist::{CellClass, CellId};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let circuits: Vec<String> = if args.is_empty() {
-        vec!["sparc_ifu".to_string(), "sparc_fpu".to_string()]
-    } else {
-        args
-    };
+    let circuits: Vec<String> =
+        if args.is_empty() { vec!["sparc_ifu".to_string(), "sparc_fpu".to_string()] } else { args };
     let ctx = context();
     let order = ctx.catalog.cells_by_internal_faults(&ctx.lib);
     let removed: Vec<String> = order[..7].iter().map(|&c| ctx.lib.cell(c).name.clone()).collect();
@@ -49,7 +46,9 @@ fn main() {
         let fp = original.pd.placement.floorplan();
         match DesignState::analyze(nl, &ctx, Some((fp, None))) {
             Ok(naive) => report(name, "restricted library", &original, &naive),
-            Err(e) => println!("{name:<12} {:<22} does not fit the floorplan: {e}", "restricted library"),
+            Err(e) => {
+                println!("{name:<12} {:<22} does not fit the floorplan: {e}", "restricted library")
+            }
         }
 
         // Targeted: the paper's procedure at q = 5%.

@@ -1,5 +1,5 @@
 //! E8 — the alternative the paper argues against (Section I, refs
-//! [14]/[15]): instead of resynthesizing, generate *additional tests* for
+//! \[14\]/\[15\]): instead of resynthesizing, generate *additional tests* for
 //! the detectable faults adjacent to undetectable ones, so the uncovered
 //! areas get more incidental coverage. The paper's point: for
 //! DFM-guideline defects this requires "a significant number of additional
@@ -82,7 +82,9 @@ fn main() {
                 let targets = targets_of(&state.faults[fi]);
                 let mut got = false;
                 for t in &targets {
-                    if let PodemOutcome::Detected(_) = podem.run_with_fill(t, Some(seed ^ fi as u64)) {
+                    if let PodemOutcome::Detected(_) =
+                        podem.run_with_fill(t, Some(seed ^ fi as u64))
+                    {
                         got = true;
                         break;
                     }
@@ -94,7 +96,12 @@ fn main() {
                 seed += 1;
             }
         }
-        println!("{:<4} {:>12} {:>9.2}x", n, base_tests + extra, (base_tests + extra) as f64 / base_tests as f64);
+        println!(
+            "{:<4} {:>12} {:>9.2}x",
+            n,
+            base_tests + extra,
+            (base_tests + extra) as f64 / base_tests as f64
+        );
     }
     println!(
         "(compare: the resynthesis procedure keeps T roughly flat while removing the \

@@ -21,10 +21,7 @@ fn main() {
     println!("Fig. 2 series for {circuit}: cluster sizes per accepted iteration (q = {q}%)");
     let mut initial = original.clusters.size_distribution();
     initial.truncate(10);
-    println!(
-        "{:<6} {:<8} {:>5} {:>6}  top clusters",
-        "iter", "phase", "U", "Smax"
-    );
+    println!("{:<6} {:<8} {:>5} {:>6}  top clusters", "iter", "phase", "U", "Smax");
     println!(
         "{:<6} {:<8} {:>5} {:>6}  {:?}",
         0,

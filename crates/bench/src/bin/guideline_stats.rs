@@ -1,6 +1,6 @@
 //! Deck analysis: which DFM guidelines dominate the fault population and
 //! the undetectable subset, per circuit — the diagnosis-oriented view of
-//! the paper's companion work [8].
+//! the paper's companion work \[8\].
 //!
 //! Usage: `cargo run --release -p rsyn-bench --bin guideline_stats [circuit…]`
 
@@ -9,11 +9,8 @@ use rsyn_dfm::DeckReport;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let circuits: Vec<String> = if args.is_empty() {
-        vec!["sparc_exu".to_string(), "aes_core".to_string()]
-    } else {
-        args
-    };
+    let circuits: Vec<String> =
+        if args.is_empty() { vec!["sparc_exu".to_string(), "aes_core".to_string()] } else { args };
     let ctx = context();
     for name in &circuits {
         let state = analyzed(name, &ctx);

@@ -5,8 +5,8 @@
 //!
 //! Usage: `cargo run --release -p rsyn-bench --bin profile_eval [circuit]`
 
-use rsyn_bench::{analyzed, context};
 use rsyn_atpg::engine::{run_atpg, AtpgOptions};
+use rsyn_bench::{analyzed, context};
 use rsyn_dfm::{extract_faults, scan_layout};
 use rsyn_pdesign::flow::physical_design_in;
 use std::time::Instant;
@@ -16,7 +16,13 @@ fn main() {
     let ctx = context();
     let t0 = Instant::now();
     let state = analyzed(&circuit, &ctx);
-    println!("analyze total: {:.2}s (F={} U={} tests={})", t0.elapsed().as_secs_f64(), state.fault_count(), state.undetectable_count(), state.atpg.tests.len());
+    println!(
+        "analyze total: {:.2}s (F={} U={} tests={})",
+        t0.elapsed().as_secs_f64(),
+        state.fault_count(),
+        state.undetectable_count(),
+        state.atpg.tests.len()
+    );
     // Break down one re-analysis.
     let fp = state.pd.placement.floorplan();
     let t = Instant::now();
@@ -31,8 +37,19 @@ fn main() {
     let view = state.nl.comb_view().unwrap();
     let t = Instant::now();
     let r1 = run_atpg(&state.nl, &view, &faults, &AtpgOptions::default());
-    println!("atpg(compact): {:.2}s U={} T={}", t.elapsed().as_secs_f64(), r1.undetectable_count(), r1.tests.len());
+    println!(
+        "atpg(compact): {:.2}s U={} T={}",
+        t.elapsed().as_secs_f64(),
+        r1.undetectable_count(),
+        r1.tests.len()
+    );
     let t = Instant::now();
-    let r2 = run_atpg(&state.nl, &view, &faults, &AtpgOptions { compact: false, ..Default::default() });
-    println!("atpg(nocompact): {:.2}s U={} T={}", t.elapsed().as_secs_f64(), r2.undetectable_count(), r2.tests.len());
+    let r2 =
+        run_atpg(&state.nl, &view, &faults, &AtpgOptions { compact: false, ..Default::default() });
+    println!(
+        "atpg(nocompact): {:.2}s U={} T={}",
+        t.elapsed().as_secs_f64(),
+        r2.undetectable_count(),
+        r2.tests.len()
+    );
 }

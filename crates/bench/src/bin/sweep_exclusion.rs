@@ -43,7 +43,11 @@ fn main() {
             mask[c.index()] = true;
         }
         if !ctx.mapper.is_complete(&mask) {
-            println!("{:<4} {:<12} (remaining subset incomplete; sweep ends)", i, ctx.lib.cell(order[i]).name);
+            println!(
+                "{:<4} {:<12} (remaining subset incomplete; sweep ends)",
+                i,
+                ctx.lib.cell(order[i]).name
+            );
             break;
         }
         let mut nl = original.nl.clone();

@@ -2,20 +2,22 @@
 //! faults) for the four circuits the paper reports: aes_core, des_perf,
 //! sparc_exu, sparc_fpu.
 //!
-//! Usage: `cargo run --release -p rsyn-bench --bin table1 [circuit…]`
+//! Usage: `cargo run --release -p rsyn-bench --bin table1 [--threads N] [circuit…]`
 
-use rsyn_bench::{analyzed, context};
+use rsyn_bench::{analyzed, context_with_threads, threads_flag};
 use rsyn_circuits::TABLE1_BENCHMARKS;
 use rsyn_core::report::Table1Row;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_flag(&mut args);
     let circuits: Vec<String> = if args.is_empty() {
         TABLE1_BENCHMARKS.iter().map(|s| s.to_string()).collect()
     } else {
         args
     };
-    let ctx = context();
+    let ctx = context_with_threads(threads);
+    eprintln!("runtime: threads={}", ctx.atpg.effective_threads());
     println!("TABLE I. CLUSTERED UNDETECTABLE FAULTS");
     println!("{}", Table1Row::header());
     for name in &circuits {

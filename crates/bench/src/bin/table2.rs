@@ -2,14 +2,19 @@
 //! benchmark, the original design row and the resynthesized row obtained
 //! with the largest `q` in `0..=max_q` that improves coverage.
 //!
-//! Usage: `cargo run --release -p rsyn-bench --bin table2 [--max-q N] [circuit…]`
+//! Usage: `cargo run --release -p rsyn-bench --bin table2
+//! [--max-q N] [--q-step N] [--threads N] [circuit…]`
+//!
+//! The table on stdout is byte-identical for any `--threads` value; a
+//! `runtime:` provenance line per circuit goes to stderr.
 
-use rsyn_bench::{analyzed, context, parse_args};
-use rsyn_core::report::{average_rows, Table2Row};
+use rsyn_bench::{analyzed, context_with_threads, parse_args, threads_flag};
+use rsyn_core::report::{average_rows, RuntimeReport, Table2Row};
 use rsyn_core::resynth::{run_q_sweep_stepped, ResynthOptions};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_flag(&mut args);
     let mut q_step = 1u32;
     if let Some(i) = args.iter().position(|a| a == "--q-step") {
         if i + 1 < args.len() {
@@ -18,10 +23,13 @@ fn main() {
         }
     }
     let (max_q, circuits) = parse_args(&args);
-    let ctx = context();
+    let ctx = context_with_threads(threads);
     let options = ResynthOptions::default();
 
-    println!("TABLE II. EXPERIMENTAL RESULTS  (q swept 0..={max_q} step {q_step}, p1 = {}%)", options.p1_percent);
+    println!(
+        "TABLE II. EXPERIMENTAL RESULTS  (q swept 0..={max_q} step {q_step}, p1 = {}%)",
+        options.p1_percent
+    );
     println!("{}", Table2Row::header());
     let mut orig_rows = Vec::new();
     let mut resyn_rows = Vec::new();
@@ -32,6 +40,7 @@ fn main() {
         let sweep = run_q_sweep_stepped(&original, &ctx, &options, max_q, q_step);
         let resyn_row = Table2Row::resynthesized(name, &original, &sweep);
         println!("{resyn_row}");
+        eprintln!("{name}: {}", RuntimeReport::of(&ctx, &sweep));
         orig_rows.push(orig_row);
         resyn_rows.push(resyn_row);
     }

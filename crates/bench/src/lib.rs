@@ -3,8 +3,9 @@
 //! `benches/`.
 //!
 //! Every binary regenerates one experiment from DESIGN.md's experiment
-//! index (E1–E7); run them with `cargo run --release -p rsyn-bench --bin
-//! <name>`.
+//! index (E1–E9); run them with `cargo run --release -p rsyn-bench --bin
+//! <name>`. The table binaries accept `--threads N` to set the ATPG
+//! worker pool (0 = all cores); any value produces identical tables.
 
 use std::sync::Arc;
 
@@ -15,6 +16,26 @@ use rsyn_netlist::Library;
 /// Builds the shared flow context over the built-in library.
 pub fn context() -> FlowContext {
     FlowContext::new(Library::osu018())
+}
+
+/// Like [`context`], with an explicit ATPG worker-thread count
+/// (`0` = available parallelism). Tables are identical for any value.
+pub fn context_with_threads(threads: usize) -> FlowContext {
+    FlowContext::new(Library::osu018()).with_threads(threads)
+}
+
+/// Strips a `--threads N` flag from `args` and returns `N`
+/// (`0` — use all available cores — when absent or malformed).
+pub fn threads_flag(args: &mut Vec<String>) -> usize {
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if i + 1 < args.len() {
+            let n = args[i + 1].parse().unwrap_or(0);
+            args.drain(i..=i + 1);
+            return n;
+        }
+        args.remove(i);
+    }
+    0
 }
 
 /// Builds and fully analyses one benchmark.
@@ -72,5 +93,15 @@ mod tests {
         let (q, c) = parse_args(&args);
         assert_eq!(q, 2);
         assert_eq!(c, vec!["tv80"]);
+    }
+
+    #[test]
+    fn threads_flag_strips_and_defaults() {
+        let mut args = vec!["--threads".to_string(), "8".to_string(), "tv80".to_string()];
+        assert_eq!(threads_flag(&mut args), 8);
+        assert_eq!(args, vec!["tv80"]);
+        let mut none = vec!["tv80".to_string()];
+        assert_eq!(threads_flag(&mut none), 0);
+        assert_eq!(none, vec!["tv80"]);
     }
 }

@@ -202,13 +202,13 @@ mod tests {
             let st: Vec<u64> = (0..16).map(|n| (state_bits >> (4 * n)) & 0xF).collect();
             let key: Vec<u64> = (0..16).map(|n| (key_bits >> (4 * n)) & 0xF).collect();
             let sub: Vec<u64> = st.iter().map(|&x| mini_aes_sbox(x)).collect();
-            let mut shifted = vec![0u64; 16];
+            let mut shifted = [0u64; 16];
             for col in 0..4 {
                 for row in 0..4 {
                     shifted[4 * col + row] = sub[4 * ((col + row) % 4) + row];
                 }
             }
-            let mut mixed = vec![0u64; 16];
+            let mut mixed = [0u64; 16];
             for col in 0..4 {
                 let c = [
                     shifted[4 * col],
@@ -240,8 +240,8 @@ mod tests {
         let view = nl.comb_view().unwrap();
         let col = 0x4321u64;
         let mut pis = vec![false; view.pis.len()];
-        for i in 0..16 {
-            pis[i] = (col >> i) & 1 == 1;
+        for (i, pi) in pis.iter_mut().enumerate().take(16) {
+            *pi = (col >> i) & 1 == 1;
         }
         let out = simulate_one(&nl, &view, &pis);
         for n in 0..4 {

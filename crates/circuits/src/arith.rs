@@ -117,10 +117,7 @@ pub fn register_word(
     clk: NetId,
     prefix: &str,
 ) -> Result<Vec<NetId>, NetlistError> {
-    d.iter()
-        .enumerate()
-        .map(|(i, &bit)| register(nl, bit, clk, &format!("{prefix}{i}")))
-        .collect()
+    d.iter().enumerate().map(|(i, &bit)| register(nl, bit, clk, &format!("{prefix}{i}"))).collect()
 }
 
 #[cfg(test)]

@@ -99,6 +99,7 @@ pub fn wb_conmax(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
     // Per-slave arbitration: rotate master requests by the master priority
     // field, then fixed-priority grant (lowest index wins).
     let mut grant: Vec<Vec<Lit>> = Vec::new(); // grant[s][m]
+    #[allow(clippy::needless_range_loop)] // `s` indexes the inner axis of `sel[m][s]`
     for s in 0..SLAVES {
         let reqs: Vec<Lit> = (0..MASTERS).map(|m| sel[m][s]).collect();
         // Effective request qualified by its 2-bit priority: a master with
@@ -184,7 +185,11 @@ mod tests {
         fn set(&mut self, name: &str, value: u64, width: usize) {
             for i in 0..width {
                 let pin = format!("{name}{i}");
-                let idx = self.names.iter().position(|n| *n == pin).unwrap_or_else(|| panic!("pin {pin}"));
+                let idx = self
+                    .names
+                    .iter()
+                    .position(|n| *n == pin)
+                    .unwrap_or_else(|| panic!("pin {pin}"));
                 self.values[idx] = (value >> i) & 1 == 1;
             }
         }

@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn sbox_is_a_permutation() {
         let t = mini_aes_sbox_table();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for &v in &t {
             assert!(!seen[v as usize], "duplicate output {v}");
             seen[v as usize] = true;

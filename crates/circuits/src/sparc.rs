@@ -63,7 +63,8 @@ pub fn sparc_spu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
     }
     // FAX1 accumulate adder: acc + product.
     let cin = nl.const0();
-    let (sum_nets, cout) = carry_select_add(&mut nl, &acc_nets, &mul_nets, cin, "spu_add").expect("adder");
+    let (sum_nets, cout) =
+        carry_select_add(&mut nl, &acc_nets, &mul_nets, cin, "spu_add").expect("adder");
     // Mode mux + XOR (stream cipher) path.
     {
         let mut blk = LogicBlock::new();
@@ -97,7 +98,8 @@ pub fn sparc_ffu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
 
     // Full-width FAX1 adder.
     let cin = nl.const0();
-    let (full_sum, _) = carry_select_add(&mut nl, &a_nets, &b_nets, cin, "ffu_full").expect("adder");
+    let (full_sum, _) =
+        carry_select_add(&mut nl, &a_nets, &b_nets, cin, "ffu_full").expect("adder");
     // Partitioned adders (carry killed between nibbles).
     let mut part_sum = Vec::new();
     for n in 0..4 {
@@ -166,7 +168,8 @@ pub fn sparc_exu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
         blk.drive(cin_net, sub);
         blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "exu_pre").expect("maps");
     }
-    let (sum_nets, cout) = carry_select_add(&mut nl, &a_nets, &beff_nets, cin_net, "exu_add").expect("adder");
+    let (sum_nets, cout) =
+        carry_select_add(&mut nl, &a_nets, &beff_nets, cin_net, "exu_add").expect("adder");
     {
         let mut blk = LogicBlock::new();
         let a = blk.feed(&a_nets);
@@ -247,7 +250,7 @@ pub fn sparc_ifu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
             let nv = blk.xor(n, v);
             blk.or(z, nv)
         };
-        let preds = vec![Lit::TRUE, z, !z, c, !c, n, le, !le];
+        let preds = [Lit::TRUE, z, !z, c, !c, n, le, !le];
         let dec = blk.decoder(&cond.to_vec());
         let mut taken = Lit::FALSE;
         for (i, &p) in preds.iter().enumerate() {
@@ -328,8 +331,10 @@ pub fn sparc_lsu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
     let off_nets = input_word(&mut nl, "off", 8);
     let wdata_nets = input_word(&mut nl, "wd", 16);
     let size_net = input_word(&mut nl, "sz", 1);
-    let tag_nets: Vec<Vec<NetId>> = (0..2).map(|w| input_word(&mut nl, &format!("tag{w}_"), 8)).collect();
-    let way_data: Vec<Vec<NetId>> = (0..2).map(|w| input_word(&mut nl, &format!("wdat{w}_"), 16)).collect();
+    let tag_nets: Vec<Vec<NetId>> =
+        (0..2).map(|w| input_word(&mut nl, &format!("tag{w}_"), 8)).collect();
+    let way_data: Vec<Vec<NetId>> =
+        (0..2).map(|w| input_word(&mut nl, &format!("wdat{w}_"), 16)).collect();
     let addr_out = output_word(&mut nl, "adr", 16);
     let st_out = output_word(&mut nl, "st", 16);
     let bm_out = output_word(&mut nl, "bm", 2);
@@ -349,7 +354,8 @@ pub fn sparc_lsu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
         blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "lsu_ext").expect("maps");
     }
     let c0 = nl.const0();
-    let (addr_nets, _) = carry_select_add(&mut nl, &base_nets, &offx_nets, c0, "lsu_add").expect("adder");
+    let (addr_nets, _) =
+        carry_select_add(&mut nl, &base_nets, &offx_nets, c0, "lsu_add").expect("adder");
     {
         let mut blk = LogicBlock::new();
         let addr = blk.feed(&addr_nets);
@@ -449,7 +455,8 @@ pub fn sparc_fpu(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
         blk.drive_word(&small_eff, &sx);
         blk.emit(&mut nl, mapper, &lib.comb_cells(), &opts(), "fpu_bx").expect("maps");
     }
-    let (sum_nets, _) = carry_select_add(&mut nl, &big_nets, &small_eff, eff_sub_net, "fpu_add").expect("adder");
+    let (sum_nets, _) =
+        carry_select_add(&mut nl, &big_nets, &small_eff, eff_sub_net, "fpu_add").expect("adder");
     // Stage 3 (mapped): leading-zero count + normalisation + exponent adjust.
     {
         let mut blk = LogicBlock::new();

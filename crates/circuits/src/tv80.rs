@@ -37,7 +37,8 @@ fn pla(blk: &mut LogicBlock, inputs: &Word, outputs: usize, terms: usize, seed: 
             let width = 3 + (seed as usize + o + t) % 3; // 3..5 literals
             let mut term = Lit::TRUE;
             for (k, &idx) in sel.iter().take(width).enumerate() {
-                let lit = if (seed >> ((o + t + k) % 64)) & 1 == 1 { !inputs[idx] } else { inputs[idx] };
+                let lit =
+                    if (seed >> ((o + t + k) % 64)) & 1 == 1 { !inputs[idx] } else { inputs[idx] };
                 term = blk.and(term, lit);
             }
             acc = blk.or(acc, term);
@@ -69,7 +70,7 @@ pub fn tv80(lib: &Arc<Library>, mapper: &Mapper) -> Netlist {
 
     // --- ALU -----------------------------------------------------------------
     // alu_op = ir[5:3] (Z80 encoding): ADD ADC SUB SBC AND XOR OR CP.
-    let alu_op = vec![ir[3], ir[4], ir[5]];
+    let alu_op = [ir[3], ir[4], ir[5]];
     let carry_in = flags_in[0];
     let is_sub = alu_op[1]; // SUB/SBC/CP family
     let use_carry = alu_op[0];

@@ -113,9 +113,7 @@ impl LogicBlock {
 
     /// Constant word.
     pub fn const_word(&mut self, value: u64, width: usize) -> Word {
-        (0..width)
-            .map(|i| if (value >> i) & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
-            .collect()
+        (0..width).map(|i| if (value >> i) & 1 == 1 { Lit::TRUE } else { Lit::FALSE }).collect()
     }
 
     /// Bitwise NOT.
@@ -204,8 +202,8 @@ impl LogicBlock {
     /// Left shift by a constant (zero fill), same width.
     pub fn shl_const(&mut self, a: &Word, k: usize) -> Word {
         let mut out = vec![Lit::FALSE; a.len()];
-        for i in k..a.len() {
-            out[i] = a[i - k];
+        if k < a.len() {
+            out[k..].copy_from_slice(&a[..a.len() - k]);
         }
         out
     }
@@ -213,9 +211,8 @@ impl LogicBlock {
     /// Right shift by a constant (zero fill), same width.
     pub fn shr_const(&mut self, a: &Word, k: usize) -> Word {
         let mut out = vec![Lit::FALSE; a.len()];
-        for i in 0..a.len().saturating_sub(k) {
-            out[i] = a[i + k];
-        }
+        let keep = a.len().saturating_sub(k);
+        out[..keep].copy_from_slice(&a[k..k + keep]);
         out
     }
 
@@ -353,7 +350,8 @@ mod tests {
         let mut nl = Netlist::new("t", lib.clone());
         let a_nets: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("a{i}"))).collect();
         let b_nets: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("b{i}"))).collect();
-        let y_nets: Vec<NetId> = (0..out_width).map(|i| nl.add_named_net(format!("y{i}"))).collect();
+        let y_nets: Vec<NetId> =
+            (0..out_width).map(|i| nl.add_named_net(format!("y{i}"))).collect();
         for &y in &y_nets {
             nl.mark_output(y);
         }
@@ -405,11 +403,7 @@ mod tests {
 
     #[test]
     fn subtractor_matches_arithmetic() {
-        check(
-            |blk, a, b| blk.sub_w(a, b).0,
-            |a, b| a.wrapping_sub(b),
-            4,
-        );
+        check(|blk, a, b| blk.sub_w(a, b).0, |a, b| a.wrapping_sub(b), 4);
     }
 
     #[test]
@@ -447,11 +441,7 @@ mod tests {
         // 4-bit table: f(a) = (a * 7 + 3) mod 16, applied to input a.
         let table: Vec<u64> = (0..16).map(|a| (a * 7 + 3) % 16).collect();
         let t2 = table.clone();
-        check(
-            move |blk, a, _| blk.lookup(a, &table, 4),
-            move |a, _| t2[a as usize],
-            4,
-        );
+        check(move |blk, a, _| blk.lookup(a, &table, 4), move |a, _| t2[a as usize], 4);
     }
 
     #[test]

@@ -92,7 +92,11 @@ pub(crate) fn backtrack(
                     None => "no candidate (pre-check/placement)".to_string(),
                     Some(c) => format!(
                         "U {}, Smax {}, delay {:.0}, power {:.0}, constraints={}",
-                        c.undetectable_count(), c.s_max_size(), c.delay_ps(), c.power_uw(), ok
+                        c.undetectable_count(),
+                        c.s_max_size(),
+                        c.delay_ps(),
+                        c.power_uw(),
+                        ok
                     ),
                 }
             )
@@ -165,7 +169,15 @@ mod tests {
         let mut evals = 0;
         let opts = ResynthOptions::default();
         let out = backtrack(
-            &ctx, &original, &window, banned, &allowed, &tight, &accept, &opts.map_options, &mut evals,
+            &ctx,
+            &original,
+            &window,
+            banned,
+            &allowed,
+            &tight,
+            &accept,
+            &opts.map_options,
+            &mut evals,
         );
         assert!(out.is_none(), "1% power budget cannot be met");
         // ...while a loose budget lets some candidate through (if any
@@ -178,7 +190,15 @@ mod tests {
         };
         let mut evals = 0;
         if let Some(s) = backtrack(
-            &ctx, &original, &window, banned, &allowed, &loose, &accept, &opts.map_options, &mut evals,
+            &ctx,
+            &original,
+            &window,
+            banned,
+            &allowed,
+            &loose,
+            &accept,
+            &opts.map_options,
+            &mut evals,
         ) {
             assert!(s.undetectable_count() < original.undetectable_count());
             assert!(loose.satisfied_by(&s));

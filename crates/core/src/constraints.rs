@@ -56,8 +56,13 @@ mod tests {
         let nand = lib.cell_id("NAND2X1").unwrap();
         for i in 0..20 {
             let y = nl.add_net();
-            nl.add_gate(format!("g{i}"), nand, &[nets[i % nets.len()], nets[(i + 1) % nets.len()]], &[y])
-                .unwrap();
+            nl.add_gate(
+                format!("g{i}"),
+                nand,
+                &[nets[i % nets.len()], nets[(i + 1) % nets.len()]],
+                &[y],
+            )
+            .unwrap();
             nets.push(y);
         }
         let last = *nets.last().unwrap();

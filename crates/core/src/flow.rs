@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use rsyn_atpg::engine::{run_atpg, AtpgOptions, AtpgResult};
 use rsyn_atpg::fault::Fault;
+use rsyn_atpg::incremental::{run_atpg_incremental, PreviousEvaluation};
 use rsyn_cluster::{cluster_faults, Clusters};
 use rsyn_dfm::{extract_faults, GuidelineSet, InternalCatalog};
 use rsyn_logic::Mapper;
@@ -25,10 +26,14 @@ pub struct FlowContext {
     pub guidelines: GuidelineSet,
     /// Per-cell internal defect catalogs.
     pub catalog: InternalCatalog,
-    /// ATPG options.
+    /// ATPG options. `atpg.threads` controls the fault-sharded worker pool
+    /// (0 = available parallelism); results are thread-count independent.
     pub atpg: AtpgOptions,
     /// Master seed for physical design.
     pub seed: u64,
+    /// Whether candidate re-evaluations use the cone-of-influence
+    /// incremental ATPG path instead of re-running the full fault set.
+    pub incremental: bool,
 }
 
 impl FlowContext {
@@ -37,7 +42,22 @@ impl FlowContext {
         let mapper = Mapper::new(&lib);
         let guidelines = GuidelineSet::standard();
         let catalog = InternalCatalog::build(&lib);
-        Self { lib, mapper, guidelines, catalog, atpg: AtpgOptions::default(), seed: 0xDA7E }
+        Self {
+            lib,
+            mapper,
+            guidelines,
+            catalog,
+            atpg: AtpgOptions::default(),
+            seed: 0xDA7E,
+            incremental: true,
+        }
+    }
+
+    /// Returns the context with an explicit ATPG worker-thread count
+    /// (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.atpg.threads = threads;
+        self
     }
 }
 
@@ -77,6 +97,37 @@ impl DesignState {
         let faults = extract_faults(&nl, &pd.layout, &ctx.guidelines, &ctx.catalog);
         let view = nl.comb_view().expect("valid netlist");
         let atpg = run_atpg(&nl, &view, &faults, &ctx.atpg);
+        let undetectable = atpg.undetectable_indices();
+        let clusters = cluster_faults(&nl, &faults, &undetectable);
+        Ok(Self { nl, pd, faults, atpg, clusters })
+    }
+
+    /// Like [`DesignState::analyze`], but reuses the ATPG verdicts of a
+    /// previous analysis for every fault outside the cone of influence of
+    /// `changed_gates` (the gates a resynthesis candidate remapped). This
+    /// is the fast path of the candidate-evaluation inner loop: only the
+    /// faults the remap can affect go back through fault simulation and
+    /// PODEM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] when the netlist does not fit the floorplan
+    /// (a die-area constraint violation).
+    pub fn analyze_incremental(
+        nl: Netlist,
+        ctx: &FlowContext,
+        fixed: Option<(Floorplan, Option<&Placement>)>,
+        prev: &DesignState,
+        changed_gates: &[GateId],
+    ) -> Result<Self, PlaceError> {
+        let pd = match fixed {
+            None => physical_design(&nl, ctx.seed)?,
+            Some((fp, prev_pl)) => physical_design_in(&nl, fp, prev_pl, ctx.seed)?,
+        };
+        let faults = extract_faults(&nl, &pd.layout, &ctx.guidelines, &ctx.catalog);
+        let view = nl.comb_view().expect("valid netlist");
+        let previous = PreviousEvaluation { faults: &prev.faults, result: &prev.atpg };
+        let atpg = run_atpg_incremental(&nl, &view, &faults, &ctx.atpg, &previous, changed_gates);
         let undetectable = atpg.undetectable_indices();
         let clusters = cluster_faults(&nl, &faults, &undetectable);
         Ok(Self { nl, pd, faults, atpg, clusters })
@@ -187,8 +238,13 @@ mod tests {
                 ];
                 nl.add_gate(format!("g{i}"), aoi, &w, &[y]).unwrap();
             } else {
-                nl.add_gate(format!("g{i}"), nand, &[nets[i % nets.len()], nets[(i + 2) % nets.len()]], &[y])
-                    .unwrap();
+                nl.add_gate(
+                    format!("g{i}"),
+                    nand,
+                    &[nets[i % nets.len()], nets[(i + 2) % nets.len()]],
+                    &[y],
+                )
+                .unwrap();
             }
             nets.push(y);
         }
@@ -204,10 +260,7 @@ mod tests {
         let state = DesignState::analyze(nl, &ctx, None).unwrap();
         assert!(state.fault_count() > 0);
         assert!(state.coverage() <= 1.0);
-        assert_eq!(
-            state.undetectable_count(),
-            state.atpg.undetectable_indices().len()
-        );
+        assert_eq!(state.undetectable_count(), state.atpg.undetectable_indices().len());
         assert!(state.s_max_size() <= state.undetectable_count());
         assert!(state.delay_ps() > 0.0);
         assert!(state.power_uw() > 0.0);
@@ -216,6 +269,29 @@ mod tests {
         for g in state.g_max() {
             assert!(gu.contains(&g));
         }
+    }
+
+    #[test]
+    fn incremental_reanalysis_matches_full() {
+        let ctx = FlowContext::new(Library::osu018());
+        let nl = tiny_circuit(&ctx);
+        let s1 = DesignState::analyze(nl.clone(), &ctx, None).unwrap();
+        let fp = s1.pd.placement.floorplan();
+        // Unchanged netlist, empty changed set: the incremental path must
+        // reproduce the full analysis verdicts without re-running them.
+        let s2 = DesignState::analyze_incremental(
+            nl.clone(),
+            &ctx,
+            Some((fp, Some(&s1.pd.placement))),
+            &s1,
+            &[],
+        )
+        .unwrap();
+        let full = DesignState::analyze(nl, &ctx, Some((fp, Some(&s1.pd.placement)))).unwrap();
+        assert_eq!(s2.fault_count(), full.fault_count());
+        assert_eq!(s2.undetectable_count(), full.undetectable_count());
+        assert_eq!(s2.atpg.detected_count(), full.atpg.detected_count());
+        assert_eq!(s2.s_max_size(), full.s_max_size());
     }
 
     #[test]

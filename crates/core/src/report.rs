@@ -1,6 +1,9 @@
-//! Row extraction for the paper's Table I and Table II.
+//! Row extraction for the paper's Table I and Table II, plus the runtime
+//! provenance line that records how an experiment was executed (worker
+//! threads, incremental evaluation, evaluation counts) so `Rtime` columns
+//! can be compared across machines and thread counts.
 
-use crate::flow::DesignState;
+use crate::flow::{DesignState, FlowContext};
 use crate::resynth::QSweepOutcome;
 
 /// One row of Table I (clustering of the original design).
@@ -62,8 +65,15 @@ impl std::fmt::Display for Table1Row {
         write!(
             f,
             "{:<12} {:>8} {:>8} {:>7} {:>7} {:>6} {:>6} {:>7} {:>8.2}%",
-            self.circuit, self.f_in, self.f_ex, self.u_in, self.u_ex, self.g_u, self.g_max,
-            self.s_max, self.s_max_pct_u
+            self.circuit,
+            self.f_in,
+            self.f_ex,
+            self.u_in,
+            self.u_ex,
+            self.g_u,
+            self.g_max,
+            self.s_max,
+            self.s_max_pct_u
         )
     }
 }
@@ -116,7 +126,13 @@ impl Table2Row {
         )
     }
 
-    fn build(circuit: &str, max_inc: &str, original: &DesignState, state: &DesignState, rtime: f64) -> Self {
+    fn build(
+        circuit: &str,
+        max_inc: &str,
+        original: &DesignState,
+        state: &DesignState,
+        rtime: f64,
+    ) -> Self {
         let s_max = state.s_max_size();
         let s_max_i = state.s_max_internal();
         Self {
@@ -140,8 +156,19 @@ impl Table2Row {
     pub fn header() -> String {
         format!(
             "{:<12} {:>5} {:>8} {:>6} {:>7} {:>5} {:>6} {:>9} {:>7} {:>8} {:>8} {:>8} {:>6}",
-            "Circuit", "MaxInc", "F", "U", "Cov", "T", "Smax", "%Smax_all", "Smax_I", "%Smax_I",
-            "Delay", "Power", "Rtime"
+            "Circuit",
+            "MaxInc",
+            "F",
+            "U",
+            "Cov",
+            "T",
+            "Smax",
+            "%Smax_all",
+            "Smax_I",
+            "%Smax_I",
+            "Delay",
+            "Power",
+            "Rtime"
         )
     }
 }
@@ -168,10 +195,54 @@ impl std::fmt::Display for Table2Row {
     }
 }
 
+/// How an experiment was executed: engine configuration and effort
+/// counters that give the paper's `Rtime` column its context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeReport {
+    /// Resolved ATPG worker-thread count.
+    pub threads: usize,
+    /// Whether candidate evaluations used the cone-of-influence
+    /// incremental path.
+    pub incremental: bool,
+    /// Full `PDesign()`+ATPG candidate evaluations performed.
+    pub full_evaluations: usize,
+    /// Wall-clock seconds of the whole sweep.
+    pub sweep_seconds: f64,
+    /// Wall-clock seconds of one baseline analysis.
+    pub baseline_seconds: f64,
+}
+
+impl RuntimeReport {
+    /// Builds the report for a finished sweep under `ctx`.
+    pub fn of(ctx: &FlowContext, sweep: &QSweepOutcome) -> Self {
+        Self {
+            threads: ctx.atpg.effective_threads(),
+            incremental: ctx.incremental,
+            full_evaluations: sweep.full_evaluations,
+            sweep_seconds: sweep.sweep_seconds,
+            baseline_seconds: sweep.baseline_seconds,
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runtime: threads={} incremental={} evaluations={} sweep={:.2}s baseline={:.2}s",
+            self.threads,
+            self.incremental,
+            self.full_evaluations,
+            self.sweep_seconds,
+            self.baseline_seconds
+        )
+    }
+}
+
 /// Averages a set of Table II rows (the paper's `average` rows).
 pub fn average_rows(label: &str, rows: &[Table2Row]) -> Table2Row {
     let n = rows.len().max(1) as f64;
-    let avg = |f: &dyn Fn(&Table2Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+    let avg = |f: &dyn Fn(&Table2Row) -> f64| rows.iter().map(f).sum::<f64>() / n;
     Table2Row {
         circuit: "average".to_string(),
         max_inc: label.to_string(),

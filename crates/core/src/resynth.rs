@@ -135,12 +135,32 @@ pub(crate) fn evaluate_candidate(
     // The paper's gate on PDesign(): the (cheaply computable) undetectable
     // internal fault weight must decrease before physical design is re-run.
     if new_weight >= old_weight {
-        trace_log(|| format!("precheck reject: window {} gates, weight {} -> {}", window_gates.len(), old_weight, new_weight));
+        trace_log(|| {
+            format!(
+                "precheck reject: window {} gates, weight {} -> {}",
+                window_gates.len(),
+                old_weight,
+                new_weight
+            )
+        });
         return None;
     }
     *evaluations += 1;
     let fp = base.pd.placement.floorplan();
-    let result = DesignState::analyze(nl, ctx, Some((fp, Some(&base.pd.placement))));
+    // The cone-of-influence fast path: only faults the remapped gates can
+    // influence are re-simulated; everything else carries its verdict over
+    // from `base` (see `rsyn_atpg::incremental`).
+    let result = if ctx.incremental {
+        DesignState::analyze_incremental(
+            nl,
+            ctx,
+            Some((fp, Some(&base.pd.placement))),
+            base,
+            &new_gates,
+        )
+    } else {
+        DesignState::analyze(nl, ctx, Some((fp, Some(&base.pd.placement))))
+    };
     if let Err(e) = &result {
         trace_log(|| format!("placement reject: window {} gates: {e}", window_gates.len()));
     }
@@ -316,8 +336,17 @@ pub fn resynthesize(
         };
         let mut bt = false;
         let mut banned = None;
-        match try_cells(ctx, &state, &window, constraints, &accept, options, &mut evaluations, &mut bt, &mut banned)
-        {
+        match try_cells(
+            ctx,
+            &state,
+            &window,
+            constraints,
+            &accept,
+            options,
+            &mut evaluations,
+            &mut bt,
+            &mut banned,
+        ) {
             Some(next) => {
                 state = next;
                 trace.push(trace_of(&state, Phase::One, banned, bt));
@@ -344,8 +373,17 @@ pub fn resynthesize(
         };
         let mut bt = false;
         let mut banned = None;
-        match try_cells(ctx, &state, &window, constraints, &accept, options, &mut evaluations, &mut bt, &mut banned)
-        {
+        match try_cells(
+            ctx,
+            &state,
+            &window,
+            constraints,
+            &accept,
+            options,
+            &mut evaluations,
+            &mut bt,
+            &mut banned,
+        ) {
             Some(next) => {
                 state = next;
                 trace.push(trace_of(&state, Phase::Two, banned, bt));
@@ -371,6 +409,8 @@ pub struct QSweepOutcome {
     /// Wall-clock seconds of one baseline analysis (synthesis-free
     /// `PDesign()` + test generation), for the paper's `Rtime` column.
     pub baseline_seconds: f64,
+    /// Total full `PDesign()`+ATPG candidate evaluations across the sweep.
+    pub full_evaluations: usize,
 }
 
 impl QSweepOutcome {
@@ -381,12 +421,7 @@ impl QSweepOutcome {
     /// Panics if the sweep recorded no states (cannot happen via
     /// [`run_q_sweep`]).
     pub fn final_state(&self) -> &DesignState {
-        &self
-            .per_q
-            .iter()
-            .find(|(q, _)| *q == self.chosen_q)
-            .expect("chosen q was swept")
-            .1
+        &self.per_q.iter().find(|(q, _)| *q == self.chosen_q).expect("chosen q was swept").1
     }
 
     /// The paper's `Rtime`: sweep runtime relative to one base iteration.
@@ -428,12 +463,14 @@ pub fn run_q_sweep_stepped(
     let mut current = original.clone();
     let mut per_q = Vec::new();
     let mut trace = Vec::new();
+    let mut full_evaluations = 0usize;
     let mut q = 0u32;
     loop {
         let constraints = DesignConstraints::from_original(original, q as f64);
         let out = resynthesize(&current, ctx, &constraints, options);
         current = out.state;
         trace.extend(out.trace);
+        full_evaluations += out.full_evaluations;
         per_q.push((q, current.clone()));
         if q >= max_q {
             break;
@@ -449,7 +486,7 @@ pub fn run_q_sweep_stepped(
             chosen_q = *q;
         }
     }
-    QSweepOutcome { per_q, chosen_q, trace, sweep_seconds, baseline_seconds }
+    QSweepOutcome { per_q, chosen_q, trace, sweep_seconds, baseline_seconds, full_evaluations }
 }
 
 #[cfg(test)]

@@ -1,0 +1,246 @@
+//! Offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the subset of the criterion API its benches use:
+//! [`Criterion`], [`BenchmarkId`], [`Throughput`], benchmark groups, and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Call sites compile
+//! unchanged against the real crate.
+//!
+//! Instead of criterion's statistical sampling, each benchmark runs one
+//! warm-up iteration followed by `sample_size` timed iterations and prints
+//! the mean and minimum wall-clock time (plus throughput when set). That
+//! is deliberately lightweight — these benches gate relative comparisons
+//! (e.g. thread-count speedups), not absolute regressions.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Work-per-iteration annotation, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    fn new(iters: usize) -> Self {
+        Self { iters, total: Duration::ZERO, min: Duration::MAX }
+    }
+
+    /// Times `iters` runs of `routine` (after one untimed warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+
+    fn report(&self, group: Option<&str>, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 || self.min == Duration::MAX {
+            return;
+        }
+        let mean = self.total / self.iters as u32;
+        let label = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Throughput::Bytes(n) => format!("  {:.0} B/s", n as f64 / mean.as_secs_f64()),
+        });
+        println!(
+            "bench: {label:<40} mean {:>12?}  min {:>12?}  ({} iters){}",
+            mean,
+            self.min,
+            self.iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// A named group of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(Some(&self.name), &id.id, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(Some(&self.name), &id.id, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        b.report(None, id, None);
+        self
+    }
+
+    /// No-op, mirroring criterion's final summary hook.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::from_parameter("x"), &5u32, |b, &v| {
+                b.iter(|| {
+                    ran += 1;
+                    v * 2
+                });
+            });
+            g.finish();
+        }
+        // one warm-up + three timed iterations
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -143,10 +143,7 @@ mod tests {
         let text = "# a comment\n\n0 | via | via_spacing min=1.5 | test rule\n";
         let set = parse_deck(text).expect("parse");
         assert_eq!(set.len(), 1);
-        assert_eq!(
-            set.by_id(0).unwrap().rule,
-            GuidelineRule::ViaSpacing { min_um: 1.5 }
-        );
+        assert_eq!(set.by_id(0).unwrap().rule, GuidelineRule::ViaSpacing { min_um: 1.5 });
     }
 
     #[test]

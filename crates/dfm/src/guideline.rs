@@ -171,7 +171,8 @@ impl GuidelineSet {
                 GuidelineRule::ParallelRun { min_space_um: s, min_overlap_um: l },
             );
         }
-        for (k, l) in [30.0, 50.0, 75.0, 100.0, 130.0, 160.0, 200.0, 250.0].into_iter().enumerate() {
+        for (k, l) in [30.0, 50.0, 75.0, 100.0, 130.0, 160.0, 200.0, 250.0].into_iter().enumerate()
+        {
             push(
                 GuidelineCategory::Metal,
                 format!("MET.LW.{k}: widen min-width wires longer than {l} um"),

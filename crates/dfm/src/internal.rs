@@ -1,7 +1,7 @@
 //! Cell-internal defect extraction: switch-level simulation of transistor
 //! opens/shorts and output bridges, producing UDFM conditions per cell.
 //!
-//! This follows [9]/[11]: every potential defect of a cell's transistor
+//! This follows \[9\]/\[11\]: every potential defect of a cell's transistor
 //! network is simulated against all input patterns; the patterns whose
 //! output response differs from the fault-free cell become the defect's
 //! UDFM detection conditions. Defects whose layout features violate DFM
@@ -100,7 +100,12 @@ impl InternalCatalog {
                     // Internal defects map onto Via/Metal guidelines (ids
                     // 0..48 in the standard set).
                     let guideline = (h / 10 % 48) as u16;
-                    defects.push(InternalDefect { stage: stage_idx, defect, conditions, guideline });
+                    defects.push(InternalDefect {
+                        stage: stage_idx,
+                        defect,
+                        conditions,
+                        guideline,
+                    });
                 }
             }
             per_cell.push(defects);
@@ -124,10 +129,7 @@ impl InternalCatalog {
     /// the paper's quick pre-`PDesign()` check: physical design is only
     /// re-run when the number of undetectable internal faults decreases.
     pub fn syndrome_free_count(&self, cell: CellId) -> usize {
-        self.per_cell[cell.index()]
-            .iter()
-            .filter(|d| d.conditions.is_empty())
-            .count()
+        self.per_cell[cell.index()].iter().filter(|d| d.conditions.is_empty()).count()
     }
 
     /// Cell ids sorted by decreasing internal fault count (ties broken by
@@ -153,7 +155,11 @@ impl InternalCatalog {
 }
 
 /// Simulates one defect against every input pattern of the cell.
-fn udfm_conditions(cell: &rsyn_netlist::Cell, stage: usize, defect: StageDefect) -> Vec<CellCondition> {
+fn udfm_conditions(
+    cell: &rsyn_netlist::Cell,
+    stage: usize,
+    defect: StageDefect,
+) -> Vec<CellCondition> {
     let n = cell.input_count();
     let mut conditions = Vec::new();
     for pattern in 0..(1u64 << n) {
@@ -210,7 +216,12 @@ mod tests {
         let lib = Library::osu018();
         let cat = InternalCatalog::build(&lib);
         let count = |name: &str| cat.internal_fault_count(lib.cell_id(name).unwrap());
-        assert!(count("FAX1") > count("AOI22X1"), "FAX1 {} vs AOI22 {}", count("FAX1"), count("AOI22X1"));
+        assert!(
+            count("FAX1") > count("AOI22X1"),
+            "FAX1 {} vs AOI22 {}",
+            count("FAX1"),
+            count("AOI22X1")
+        );
         assert!(count("AOI22X1") > count("INVX1"));
         assert!(count("NAND2X1") > 0);
     }

@@ -1,6 +1,6 @@
 //! DFM guidelines, layout scanning, and defect-to-fault translation.
 //!
-//! This crate reproduces the methodology of [7]–[9] that the paper builds
+//! This crate reproduces the methodology of \[7\]–\[9\] that the paper builds
 //! on: design-for-manufacturability guidelines are *recommendations* whose
 //! violations mark layout locations where systematic defects are likely.
 //! Violations are translated into gate-level logic faults:
@@ -43,7 +43,7 @@ pub use stats::{DeckReport, GuidelineStats};
 ///
 /// Internal faults are placement-independent, exactly as the paper states
 /// ("every time a gate is used, it introduces the same internal faults;
-/// [they] do not depend on the placement and routing"): every instance of
+/// \[they\] do not depend on the placement and routing"): every instance of
 /// a cell carries the cell's full internal defect list, including the
 /// syndrome-free defects (rail fights, redundant-transistor opens — real
 /// defects whose logic fault model is undetectable by construction).

@@ -154,7 +154,10 @@ pub fn scan_layout(layout: &Layout, guidelines: &GuidelineSet) -> Vec<Violation>
                             if via.net != seg.net && end.manhattan(&via.at) < min_um {
                                 out.push(Violation {
                                     guideline: g.id,
-                                    target: ViolationTarget::NetPairShort { a: seg.net, b: via.net },
+                                    target: ViolationTarget::NetPairShort {
+                                        a: seg.net,
+                                        b: via.net,
+                                    },
                                 });
                             }
                         }
@@ -210,7 +213,12 @@ fn via_pairs<'a>(vias: &'a [&'a Via], buckets: &Bucket, dist: f64) -> Vec<(&'a V
     let cell = 3.0f64;
     let reach = (dist / cell).ceil() as i64;
     let mut out = Vec::new();
-    for (&(bx, by), idxs) in buckets {
+    // Sorted bucket order: HashMap iteration is seeded per process, and the
+    // emitted pair order decides fault order (and thus ATPG's test set).
+    let mut keys: Vec<(i64, i64)> = buckets.keys().copied().collect();
+    keys.sort_unstable();
+    for (bx, by) in keys {
+        let idxs = &buckets[&(bx, by)];
         for dx in 0..=reach {
             for dy in -reach..=reach {
                 if dx == 0 && dy < 0 {
@@ -315,7 +323,12 @@ fn parallel_run_pairs<F: FnMut(NetId, NetId)>(
     for (i, s) in segs.iter().enumerate() {
         bands.entry(band(s)).or_default().push(i);
     }
-    for (&b, idxs) in &bands {
+    // Sorted band order, for the same run-to-run determinism reason as
+    // `via_pairs`: emission order decides downstream fault order.
+    let mut band_keys: Vec<i64> = bands.keys().copied().collect();
+    band_keys.sort_unstable();
+    for b in band_keys {
+        let idxs = &bands[&b];
         let mut candidates = idxs.clone();
         if let Some(next) = bands.get(&(b + 1)) {
             candidates.extend_from_slice(next);
@@ -430,6 +443,19 @@ mod tests {
     }
 
     #[test]
+    fn scan_order_is_deterministic() {
+        // Two scans in one process see differently-seeded HashMaps; the
+        // violation *order* must still match exactly, because fault order
+        // decides the ATPG test set and the repo promises byte-identical
+        // tables run-to-run.
+        let (_, layout) = routed_sample(60);
+        let set = GuidelineSet::standard();
+        let a = scan_layout(&layout, &set);
+        let b = scan_layout(&layout, &set);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn scan_finds_violations_in_every_category() {
         let (_, layout) = routed_sample(60);
         let set = GuidelineSet::standard();
@@ -471,7 +497,8 @@ mod tests {
                 ViolationTarget::NetPairShort { a, b } => {
                     assert_ne!(a, b, "short between a net and itself");
                 }
-                ViolationTarget::RegionOpen { ref nets } | ViolationTarget::RegionShort { ref nets } => {
+                ViolationTarget::RegionOpen { ref nets }
+                | ViolationTarget::RegionShort { ref nets } => {
                     assert!(nets.len() <= REGION_NET_CAP);
                 }
             }

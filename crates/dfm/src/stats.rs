@@ -1,6 +1,6 @@
 //! Per-guideline fault statistics: which DFM guidelines dominate the fault
 //! population and the undetectable subset — the deck-analysis view used
-//! for defect diagnosis in the paper's companion work [8].
+//! for defect diagnosis in the paper's companion work \[8\].
 
 use std::collections::BTreeMap;
 
@@ -84,11 +84,8 @@ mod tests {
             Fault::internal(GateId(1), vec![], 3),
             Fault::external(FaultKind::StuckAt { net: NetId(5), value: true }, 20),
         ];
-        let statuses = vec![
-            FaultStatus::Detected,
-            FaultStatus::Undetectable,
-            FaultStatus::Detected,
-        ];
+        let statuses =
+            vec![FaultStatus::Detected, FaultStatus::Undetectable, FaultStatus::Detected];
         (faults, statuses)
     }
 

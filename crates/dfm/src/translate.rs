@@ -83,7 +83,7 @@ fn push_bridge(
         return;
     }
     let (a, b) = if a <= b { (a, b) } else { (b, a) };
-    let kind = if mix(a.index() as u64, b.index() as u64) % 2 == 0 {
+    let kind = if mix(a.index() as u64, b.index() as u64).is_multiple_of(2) {
         BridgeKind::WiredAnd
     } else {
         BridgeKind::WiredOr
@@ -101,10 +101,7 @@ fn push_bridge(
 
 /// Nets that can carry faults: driven, not constants.
 fn faultable(nl: &Netlist, net: NetId) -> bool {
-    match nl.net(net).driver {
-        Some(Driver::Const(_)) | None => false,
-        _ => true,
-    }
+    !matches!(nl.net(net).driver, Some(Driver::Const(_)) | None)
 }
 
 fn mix(a: u64, b: u64) -> u64 {

@@ -81,7 +81,10 @@ fn merge_fanins(cuts: &[Vec<Cut>], fa: Lit, fb: Lit) -> Vec<Cut> {
         let tb = expand(cb.function, &cb.leaves, &leaves);
         let ta = if fa.is_complement() { ta.not() } else { ta };
         let tb = if fb.is_complement() { tb.not() } else { tb };
-        out.push(Cut { leaves: leaves.clone(), function: TruthTable::new(leaves.len(), ta.bits() & tb.bits()) });
+        out.push(Cut {
+            leaves: leaves.clone(),
+            function: TruthTable::new(leaves.len(), ta.bits() & tb.bits()),
+        });
     }
     for ca in &cuts[fa.node() as usize] {
         for cb in &cuts[fb.node() as usize] {
@@ -150,10 +153,8 @@ fn expand(tt: TruthTable, from: &[u32], to: &[u32]) -> TruthTable {
         return tt;
     }
     // position of each `from` leaf within `to`
-    let pos: Vec<usize> = from
-        .iter()
-        .map(|l| to.iter().position(|t| t == l).expect("leaf subset"))
-        .collect();
+    let pos: Vec<usize> =
+        from.iter().map(|l| to.iter().position(|t| t == l).expect("leaf subset")).collect();
     let n = to.len();
     let mut bits = 0u64;
     for m in 0..(1usize << n) {

@@ -34,7 +34,12 @@ pub const EXHAUSTIVE_PI_LIMIT: usize = 18;
 
 /// Checks whether two netlists compute the same PO functions over matching
 /// view interfaces (PIs and POs are matched by position).
-pub fn check_equivalence(a: &Netlist, b: &Netlist, random_vectors: usize, seed: u64) -> EquivResult {
+pub fn check_equivalence(
+    a: &Netlist,
+    b: &Netlist,
+    random_vectors: usize,
+    seed: u64,
+) -> EquivResult {
     let (Ok(va), Ok(vb)) = (a.comb_view(), b.comb_view()) else {
         return EquivResult::InterfaceMismatch;
     };

@@ -32,8 +32,12 @@ pub enum MapError {
 impl std::fmt::Display for MapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MapError::IncompleteLibrary => write!(f, "allowed cell subset is not functionally complete"),
-            MapError::Unmappable { function } => write!(f, "no allowed match for function {function}"),
+            MapError::IncompleteLibrary => {
+                write!(f, "allowed cell subset is not functionally complete")
+            }
+            MapError::Unmappable { function } => {
+                write!(f, "no allowed match for function {function}")
+            }
             MapError::Netlist(e) => write!(f, "netlist error during mapping: {e}"),
         }
     }
@@ -166,8 +170,7 @@ impl Mapper {
         let refs = fanout_refs(aig);
         let n = aig.node_count();
         let mut best: Vec<[Option<PhaseBest>; 2]> = vec![[None, None]; n];
-        let score =
-            |b: &PhaseBest| options.area_weight * b.cost + options.delay_weight * b.arrival;
+        let score = |b: &PhaseBest| options.area_weight * b.cost + options.delay_weight * b.arrival;
         let better = |cand: &PhaseBest, cur: &Option<PhaseBest>| match cur {
             None => true,
             Some(c) => score(cand) < score(c),
@@ -177,8 +180,16 @@ impl Mapper {
             match aig.kind(node) {
                 NodeKind::Const => {
                     best[node as usize] = [
-                        Some(PhaseBest { choice: PhaseChoice::Const(false), cost: 0.0, arrival: 0.0 }),
-                        Some(PhaseBest { choice: PhaseChoice::Const(true), cost: 0.0, arrival: 0.0 }),
+                        Some(PhaseBest {
+                            choice: PhaseChoice::Const(false),
+                            cost: 0.0,
+                            arrival: 0.0,
+                        }),
+                        Some(PhaseBest {
+                            choice: PhaseChoice::Const(true),
+                            cost: 0.0,
+                            arrival: 0.0,
+                        }),
                     ];
                 }
                 NodeKind::Pi(_) => {
@@ -259,7 +270,10 @@ impl Mapper {
                                 }
                                 arrival += m.intrinsic_delay + m.delay_slope * NOMINAL_LOAD_FF;
                                 let cand = PhaseBest {
-                                    choice: PhaseChoice::Mapped { m: m.clone(), leaves: rleaves.clone() },
+                                    choice: PhaseChoice::Mapped {
+                                        m: m.clone(),
+                                        leaves: rleaves.clone(),
+                                    },
                                     cost,
                                     arrival,
                                 };
@@ -300,11 +314,8 @@ impl Mapper {
 
         // --- cover extraction -------------------------------------------------
         let mut needed = vec![[false, false]; n];
-        let mut stack: Vec<(u32, Phase)> = aig
-            .po_lits()
-            .iter()
-            .map(|l| (l.node(), usize::from(l.is_complement())))
-            .collect();
+        let mut stack: Vec<(u32, Phase)> =
+            aig.po_lits().iter().map(|l| (l.node(), usize::from(l.is_complement()))).collect();
         while let Some((node, phase)) = stack.pop() {
             if needed[node as usize][phase] {
                 continue;
@@ -399,7 +410,9 @@ impl Mapper {
                 emitter.nl.tie(po_nets[i], lit == Lit::TRUE);
                 continue;
             }
-            if let Some(PhaseBest { choice: PhaseChoice::Const(v), .. }) = &best[node as usize][phase] {
+            if let Some(PhaseBest { choice: PhaseChoice::Const(v), .. }) =
+                &best[node as usize][phase]
+            {
                 emitter.nl.tie(po_nets[i], *v);
                 continue;
             }
@@ -478,10 +491,8 @@ impl Emitter<'_> {
             return Ok(net);
         }
         // Derive via inverter from the other phase (must exist).
-        let other = *self
-            .net_of
-            .get(&(node, 1 - phase))
-            .expect("other phase emitted before derivation");
+        let other =
+            *self.net_of.get(&(node, 1 - phase)).expect("other phase emitted before derivation");
         let out = self.nl.add_net();
         let name = self.fresh_name();
         let g = self.nl.add_gate(name, self.inv_cell, &[other], &[out])?;
@@ -490,9 +501,14 @@ impl Emitter<'_> {
         Ok(out)
     }
 
-    fn emit_phase(&mut self, node: u32, phase: Phase, choice: &PhaseChoice, aig: &Aig) -> Result<(), MapError> {
-        if self.net_of.contains_key(&(node, phase))
-            && !matches!(choice, PhaseChoice::Mapped { .. })
+    fn emit_phase(
+        &mut self,
+        node: u32,
+        phase: Phase,
+        choice: &PhaseChoice,
+        aig: &Aig,
+    ) -> Result<(), MapError> {
+        if self.net_of.contains_key(&(node, phase)) && !matches!(choice, PhaseChoice::Mapped { .. })
         {
             return Ok(());
         }
@@ -520,10 +536,8 @@ impl Emitter<'_> {
                 // emission now so the net exists for consumers.
                 let _ = aig;
                 let target = self.net_of.get(&(node, phase)).copied();
-                let other = *self
-                    .net_of
-                    .get(&(node, 1 - phase))
-                    .expect("direct phase emitted first");
+                let other =
+                    *self.net_of.get(&(node, 1 - phase)).expect("direct phase emitted first");
                 match target {
                     Some(net) => {
                         let name = self.fresh_name();

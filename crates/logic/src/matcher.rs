@@ -106,10 +106,7 @@ impl MatchTable {
 
     /// Direct matches for a function (same polarity).
     pub fn matches(&self, f: TruthTable) -> &[CellMatch] {
-        self.table
-            .get(&(f.input_count() as u8, f.bits()))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.table.get(&(f.input_count() as u8, f.bits())).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The cheapest allowed inverter cell, if any (must not need phases).
@@ -224,9 +221,7 @@ mod tests {
         let ms = table.matches(f);
         assert!(!ms.is_empty(), "a&!b should be matchable");
         // NOR2 with only A inverted computes !(!a | b) = a & !b.
-        assert!(ms
-            .iter()
-            .any(|m| lib.cell(m.cell).name == "NOR2X1" && m.input_inverters() == 1));
+        assert!(ms.iter().any(|m| lib.cell(m.cell).name == "NOR2X1" && m.input_inverters() == 1));
     }
 
     #[test]
@@ -249,7 +244,8 @@ mod tests {
             let f = TruthTable::new(*k as usize, *bits);
             for m in ms {
                 let cell = lib.cell(m.cell);
-                let g = apply_assignment_k(cell.outputs[0].function, &m.pins, m.inv_mask, *k as usize);
+                let g =
+                    apply_assignment_k(cell.outputs[0].function, &m.pins, m.inv_mask, *k as usize);
                 assert_eq!(g, f, "cell {} pins {:?} inv {:#b}", cell.name, m.pins, m.inv_mask);
                 checked += 1;
             }

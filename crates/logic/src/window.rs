@@ -89,7 +89,12 @@ impl Window {
         let mut aig = Aig::new();
         let mut inputs: Vec<NetId> = Vec::new();
         let mut net_lit: HashMap<NetId, Lit> = HashMap::new();
-        let resolve = |nl: &Netlist, aig: &mut Aig, net_lit: &mut HashMap<NetId, Lit>, inputs: &mut Vec<NetId>, net: NetId| -> Lit {
+        let resolve = |nl: &Netlist,
+                       aig: &mut Aig,
+                       net_lit: &mut HashMap<NetId, Lit>,
+                       inputs: &mut Vec<NetId>,
+                       net: NetId|
+         -> Lit {
             if let Some(&l) = net_lit.get(&net) {
                 return l;
             }

@@ -24,13 +24,14 @@ use crate::validate::NetlistError;
 /// # Panics
 ///
 /// Panics if the library has no buffer cell or `max_fanout == 0`.
-pub fn buffer_high_fanout(nl: &mut Netlist, max_fanout: usize) -> Result<Vec<GateId>, NetlistError> {
+pub fn buffer_high_fanout(
+    nl: &mut Netlist,
+    max_fanout: usize,
+) -> Result<Vec<GateId>, NetlistError> {
     assert!(max_fanout > 0, "fanout limit must be positive");
     let lib = nl.lib().clone();
-    let buf = lib
-        .cell_id("BUFX4")
-        .or_else(|| lib.cell_id("BUFX2"))
-        .expect("library has a buffer cell");
+    let buf =
+        lib.cell_id("BUFX4").or_else(|| lib.cell_id("BUFX2")).expect("library has a buffer cell");
     let mut inserted = Vec::new();
     // Iterate until a fixed point: buffer outputs themselves may still be
     // over the limit for extreme fanouts, forming a tree.

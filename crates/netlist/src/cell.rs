@@ -63,7 +63,13 @@ impl SpNet {
     ///
     /// `forced_open` / `forced_on` name a transistor id whose conduction is
     /// overridden regardless of its gate value.
-    pub fn conducts(&self, pins: u64, nodes: u64, forced_open: Option<u16>, forced_on: Option<u16>) -> bool {
+    pub fn conducts(
+        &self,
+        pins: u64,
+        nodes: u64,
+        forced_open: Option<u16>,
+        forced_on: Option<u16>,
+    ) -> bool {
         match self {
             SpNet::T(t) => {
                 if forced_open == Some(t.id) {
@@ -74,12 +80,12 @@ impl SpNet {
                     t.gate.eval(pins, nodes)
                 }
             }
-            SpNet::Series(children) => children
-                .iter()
-                .all(|c| c.conducts(pins, nodes, forced_open, forced_on)),
-            SpNet::Parallel(children) => children
-                .iter()
-                .any(|c| c.conducts(pins, nodes, forced_open, forced_on)),
+            SpNet::Series(children) => {
+                children.iter().all(|c| c.conducts(pins, nodes, forced_open, forced_on))
+            }
+            SpNet::Parallel(children) => {
+                children.iter().any(|c| c.conducts(pins, nodes, forced_open, forced_on))
+            }
         }
     }
 
@@ -109,7 +115,13 @@ impl SpNet {
 
     /// Evaluates the *pull-up* (dual gates: conduct on gate-false), with
     /// overrides.
-    fn pullup_conducts(&self, pins: u64, nodes: u64, forced_open: Option<u16>, forced_on: Option<u16>) -> bool {
+    fn pullup_conducts(
+        &self,
+        pins: u64,
+        nodes: u64,
+        forced_open: Option<u16>,
+        forced_on: Option<u16>,
+    ) -> bool {
         match self {
             SpNet::T(t) => {
                 if forced_open == Some(t.id) {
@@ -121,12 +133,12 @@ impl SpNet {
                 }
             }
             // Dual topology: series in the pull-down acts as parallel pull-up.
-            SpNet::Series(children) => children
-                .iter()
-                .any(|c| c.pullup_conducts(pins, nodes, forced_open, forced_on)),
-            SpNet::Parallel(children) => children
-                .iter()
-                .all(|c| c.pullup_conducts(pins, nodes, forced_open, forced_on)),
+            SpNet::Series(children) => {
+                children.iter().any(|c| c.pullup_conducts(pins, nodes, forced_open, forced_on))
+            }
+            SpNet::Parallel(children) => {
+                children.iter().all(|c| c.pullup_conducts(pins, nodes, forced_open, forced_on))
+            }
         }
     }
 }
@@ -181,10 +193,18 @@ impl Stage {
     pub fn eval(&self, pins: u64, nodes: u64, defect: StageDefect) -> StageValue {
         let (pd_open, pd_on, pu_open, pu_on, gnd, vdd) = match defect {
             StageDefect::None => (None, None, None, None, false, false),
-            StageDefect::Open(NetworkSide::Pulldown, id) => (Some(id), None, None, None, false, false),
-            StageDefect::Shorted(NetworkSide::Pulldown, id) => (None, Some(id), None, None, false, false),
-            StageDefect::Open(NetworkSide::Pullup, id) => (None, None, Some(id), None, false, false),
-            StageDefect::Shorted(NetworkSide::Pullup, id) => (None, None, None, Some(id), false, false),
+            StageDefect::Open(NetworkSide::Pulldown, id) => {
+                (Some(id), None, None, None, false, false)
+            }
+            StageDefect::Shorted(NetworkSide::Pulldown, id) => {
+                (None, Some(id), None, None, false, false)
+            }
+            StageDefect::Open(NetworkSide::Pullup, id) => {
+                (None, None, Some(id), None, false, false)
+            }
+            StageDefect::Shorted(NetworkSide::Pullup, id) => {
+                (None, None, None, Some(id), false, false)
+            }
             StageDefect::OutputToGnd => (None, None, None, None, true, false),
             StageDefect::OutputToVdd => (None, None, None, None, false, true),
         };
@@ -271,9 +291,7 @@ impl Cell {
 
     /// True for single-output cells implementing an inverter or buffer.
     pub fn is_inverter_or_buffer(&self) -> bool {
-        self.class == CellClass::Comb
-            && self.inputs.len() == 1
-            && self.outputs.len() == 1
+        self.class == CellClass::Comb && self.inputs.len() == 1 && self.outputs.len() == 1
     }
 
     /// Evaluates all stages switch-level for one input pattern, with an

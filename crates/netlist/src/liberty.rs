@@ -73,13 +73,7 @@ pub fn liberty_function(tt: TruthTable, pins: &[String]) -> String {
     for m in 0..(1u64 << n) {
         if tt.eval(m) {
             let lits: Vec<String> = (0..n)
-                .map(|i| {
-                    if (m >> i) & 1 == 1 {
-                        pins[i].clone()
-                    } else {
-                        format!("!{}", pins[i])
-                    }
-                })
+                .map(|i| if (m >> i) & 1 == 1 { pins[i].clone() } else { format!("!{}", pins[i]) })
                 .collect();
             terms.push(format!("({})", lits.join("*")));
         }
@@ -112,7 +106,7 @@ mod tests {
         let nand = and.not();
         let f = liberty_function(nand, &pins);
         assert!(f.contains("(!A*!B)") && f.contains('+'));
-        assert_eq!(liberty_function(TruthTable::one(1), &pins[..1].to_vec()), "1");
+        assert_eq!(liberty_function(TruthTable::one(1), &pins[..1]), "1");
     }
 
     #[test]

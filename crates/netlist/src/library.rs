@@ -80,10 +80,7 @@ impl Library {
 
     /// Iterates over `(id, cell)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (CellId::from_index(i), c))
+        self.cells.iter().enumerate().map(|(i, c)| (CellId::from_index(i), c))
     }
 
     /// The library's D flip-flop, if any.
@@ -93,10 +90,7 @@ impl Library {
 
     /// All combinational cell ids.
     pub fn comb_cells(&self) -> Vec<CellId> {
-        self.iter()
-            .filter(|(_, c)| c.class == CellClass::Comb)
-            .map(|(id, _)| id)
-            .collect()
+        self.iter().filter(|(_, c)| c.class == CellClass::Comb).map(|(id, _)| id).collect()
     }
 }
 
@@ -297,10 +291,8 @@ fn osu018_cells() -> Vec<Cell> {
     // --- AND / OR (nand/nor + inverter stage) ------------------------------
     {
         let mut b = NetBuilder::new();
-        let stages = vec![
-            Stage { pulldown: ser(vec![b.pin(0), b.pin(1)]) },
-            Stage { pulldown: b.node(0) },
-        ];
+        let stages =
+            vec![Stage { pulldown: ser(vec![b.pin(0), b.pin(1)]) }, Stage { pulldown: b.node(0) }];
         let f = TruthTable::new(2, v(2, 0).bits() & v(2, 1).bits());
         cells.push(build(CellSpec {
             name: "AND2X2",
@@ -317,10 +309,8 @@ fn osu018_cells() -> Vec<Cell> {
     }
     {
         let mut b = NetBuilder::new();
-        let stages = vec![
-            Stage { pulldown: par(vec![b.pin(0), b.pin(1)]) },
-            Stage { pulldown: b.node(0) },
-        ];
+        let stages =
+            vec![Stage { pulldown: par(vec![b.pin(0), b.pin(1)]) }, Stage { pulldown: b.node(0) }];
         let f = TruthTable::new(2, v(2, 0).bits() | v(2, 1).bits());
         cells.push(build(CellSpec {
             name: "OR2X2",
@@ -380,9 +370,7 @@ fn osu018_cells() -> Vec<Cell> {
     // --- AOI / OAI complex gates -------------------------------------------
     {
         let mut b = NetBuilder::new();
-        let stages = vec![Stage {
-            pulldown: par(vec![ser(vec![b.pin(0), b.pin(1)]), b.pin(2)]),
-        }];
+        let stages = vec![Stage { pulldown: par(vec![ser(vec![b.pin(0), b.pin(1)]), b.pin(2)]) }];
         let f = TruthTable::new(3, !((v(3, 0).bits() & v(3, 1).bits()) | v(3, 2).bits()));
         cells.push(build(CellSpec {
             name: "AOI21X1",
@@ -421,9 +409,7 @@ fn osu018_cells() -> Vec<Cell> {
     }
     {
         let mut b = NetBuilder::new();
-        let stages = vec![Stage {
-            pulldown: ser(vec![par(vec![b.pin(0), b.pin(1)]), b.pin(2)]),
-        }];
+        let stages = vec![Stage { pulldown: ser(vec![par(vec![b.pin(0), b.pin(1)]), b.pin(2)]) }];
         let f = TruthTable::new(3, !((v(3, 0).bits() | v(3, 1).bits()) & v(3, 2).bits()));
         cells.push(build(CellSpec {
             name: "OAI21X1",
@@ -466,7 +452,9 @@ fn osu018_cells() -> Vec<Cell> {
         let mut b = NetBuilder::new();
         // inputs: A (sel=0), B (sel=1), S. node0 = !(mux), node1 = mux.
         let stages = vec![
-            Stage { pulldown: par(vec![ser(vec![b.pin(2), b.pin(1)]), ser(vec![b.npin(2), b.pin(0)])]) },
+            Stage {
+                pulldown: par(vec![ser(vec![b.pin(2), b.pin(1)]), ser(vec![b.npin(2), b.pin(0)])]),
+            },
             Stage { pulldown: b.node(0) },
         ];
         let a = v(3, 0).bits();

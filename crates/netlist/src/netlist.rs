@@ -231,15 +231,13 @@ impl Netlist {
         }
         for &o in outputs {
             if self.nets[o.index()].driver.is_some() {
-                return Err(NetlistError::MultipleDrivers { net: self.nets[o.index()].name.clone() });
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.nets[o.index()].name.clone(),
+                });
             }
         }
-        let gate = Gate {
-            name: name.into(),
-            cell,
-            inputs: inputs.to_vec(),
-            outputs: outputs.to_vec(),
-        };
+        let gate =
+            Gate { name: name.into(), cell, inputs: inputs.to_vec(), outputs: outputs.to_vec() };
         let id = if let Some(id) = self.free_gates.pop() {
             self.gates[id.index()] = Some(gate);
             id
@@ -412,7 +410,9 @@ impl Netlist {
             }
         }
         if order.len() != comb_gates.len() {
-            return Err(NetlistError::CombinationalLoop { gates_in_loop: comb_gates.len() - order.len() });
+            return Err(NetlistError::CombinationalLoop {
+                gates_in_loop: comb_gates.len() - order.len(),
+            });
         }
         Ok(CombView { pis, pos, order, real_pi_count, real_po_count })
     }

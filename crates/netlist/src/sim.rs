@@ -105,7 +105,9 @@ mod tests {
     fn xor_truth_table_via_sim() {
         let nl = xor_netlist();
         let view = nl.comb_view().unwrap();
-        for (a, b, want) in [(false, false, false), (true, false, true), (false, true, true), (true, true, false)] {
+        for (a, b, want) in
+            [(false, false, false), (true, false, true), (false, true, true), (true, true, false)]
+        {
             let out = simulate_one(&nl, &view, &[a, b]);
             assert_eq!(out, vec![want], "a={a} b={b}");
         }

@@ -30,10 +30,7 @@ impl TruthTable {
             inputs <= MAX_TT_INPUTS,
             "truth tables support at most {MAX_TT_INPUTS} inputs, got {inputs}"
         );
-        Self {
-            bits: bits & Self::mask(inputs),
-            inputs: inputs as u8,
-        }
+        Self { bits: bits & Self::mask(inputs), inputs: inputs as u8 }
     }
 
     /// The constant-zero function of `inputs` variables.
@@ -96,7 +93,7 @@ impl TruthTable {
     /// Input `i`'s value is bit `i` of `minterm`.
     #[inline]
     pub fn eval(&self, minterm: u64) -> bool {
-        let m = minterm & ((1u64 << self.inputs) - 1).max(0);
+        let m = minterm & ((1u64 << self.inputs) - 1);
         (self.bits >> m) & 1 == 1
     }
 

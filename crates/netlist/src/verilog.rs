@@ -99,17 +99,19 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
         }
     }
     if !acc.trim().is_empty() {
-        return Err(NetlistError::Parse { line: acc_line, message: "unterminated statement".into() });
+        return Err(NetlistError::Parse {
+            line: acc_line,
+            message: "unterminated statement".into(),
+        });
     }
 
-    let err = |line: usize, message: &str| NetlistError::Parse { line, message: message.to_string() };
+    let err =
+        |line: usize, message: &str| NetlistError::Parse { line, message: message.to_string() };
 
     for (line, stmt) in statements {
         if let Some(rest) = stmt.strip_prefix("module") {
-            let (name, _) = rest
-                .trim()
-                .split_once('(')
-                .ok_or_else(|| err(line, "missing port list"))?;
+            let (name, _) =
+                rest.trim().split_once('(').ok_or_else(|| err(line, "missing port list"))?;
             nl = Some(Netlist::new(name.trim(), lib.clone()));
             continue;
         }
@@ -154,7 +156,8 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
                 let conn = conn
                     .strip_prefix('.')
                     .ok_or_else(|| err(line, "expected named port connection"))?;
-                let (pin, rest) = conn.split_once('(').ok_or_else(|| err(line, "malformed port"))?;
+                let (pin, rest) =
+                    conn.split_once('(').ok_or_else(|| err(line, "malformed port"))?;
                 let net = rest.trim_end_matches(')').trim();
                 pin_map.insert(pin.trim().to_string(), net.to_string());
             }
@@ -163,9 +166,9 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
                 match name {
                     "1'b0" => nl_ref.const0(),
                     "1'b1" => nl_ref.const1(),
-                    _ => *nets
-                        .entry(name.to_string())
-                        .or_insert_with(|| nl_ref.add_named_net(name)),
+                    _ => {
+                        *nets.entry(name.to_string()).or_insert_with(|| nl_ref.add_named_net(name))
+                    }
                 }
             };
             let mut ins = Vec::new();
@@ -277,7 +280,8 @@ mod tests {
     #[test]
     fn missing_pin_is_reported() {
         let lib = Library::osu018();
-        let text = "module t (a, y);\n  input a;\n  output y;\n  NAND2X1 u0 (.A(a), .Y(y));\nendmodule\n";
+        let text =
+            "module t (a, y);\n  input a;\n  output y;\n  NAND2X1 u0 (.A(a), .Y(y));\nendmodule\n";
         let err = parse_verilog(text, lib).unwrap_err();
         assert!(matches!(err, NetlistError::Parse { .. }));
     }

@@ -11,7 +11,8 @@ fn random_netlist(seed: u64, gates: usize) -> Netlist {
     let lib = Library::osu018();
     let mut nl = Netlist::new(format!("rnd{seed}"), lib.clone());
     let mut nets: Vec<NetId> = (0..5).map(|i| nl.add_input(format!("i{i}"))).collect();
-    let names = ["INVX1", "NAND2X1", "NOR2X1", "XOR2X1", "AOI21X1", "OAI21X1", "AND2X2", "MUX2X1", "FAX1"];
+    let names =
+        ["INVX1", "NAND2X1", "NOR2X1", "XOR2X1", "AOI21X1", "OAI21X1", "AND2X2", "MUX2X1", "FAX1"];
     let mut state = seed | 1;
     let mut next = move || {
         state ^= state << 13;

@@ -135,11 +135,7 @@ impl Layout {
 
     /// Routed wirelength of one net in µm (0 if unrouted).
     pub fn net_wirelength(&self, net: NetId) -> f64 {
-        self.nets
-            .iter()
-            .find(|r| r.net == net)
-            .map(RoutedNet::wirelength)
-            .unwrap_or(0.0)
+        self.nets.iter().find(|r| r.net == net).map(RoutedNet::wirelength).unwrap_or(0.0)
     }
 
     /// Metal density map: fraction of each `window_um`-sized square window

@@ -136,7 +136,8 @@ impl Placement {
             }
             // Boustrophedon: odd rows fill right-to-left for locality.
             let start = if reverse { self.fp.sites_per_row - site - w } else { site };
-            self.slots[g.index()] = Some(Slot { row: row as u32, site: start as u32, width: w as u32 });
+            self.slots[g.index()] =
+                Some(Slot { row: row as u32, site: start as u32, width: w as u32 });
             site += w;
         }
         Ok(())
@@ -234,11 +235,8 @@ impl Placement {
             }
         }
         // Place new gates in topological-ish (id) order.
-        let unplaced: Vec<GateId> = nl
-            .gates()
-            .map(|(id, _)| id)
-            .filter(|&id| self.slots[id.index()].is_none())
-            .collect();
+        let unplaced: Vec<GateId> =
+            nl.gates().map(|(id, _)| id).filter(|&id| self.slots[id.index()].is_none()).collect();
         for g in unplaced {
             let w = gate_width_sites(nl, g) as usize;
             let centroid = self.neighbor_centroid(nl, g);
@@ -285,13 +283,15 @@ impl Placement {
                     (false, Some(start)) => {
                         if s - start >= width {
                             // Position within the run closest to the centroid.
-                            let cx_site = (centroid.0 / SITE_WIDTH_UM - width as f64 / 2.0).round() as i64;
+                            let cx_site =
+                                (centroid.0 / SITE_WIDTH_UM - width as f64 / 2.0).round() as i64;
                             let lo = start as i64;
                             let hi = (s - width) as i64;
                             let pos = cx_site.clamp(lo, hi) as usize;
                             let x = (pos as f64 + width as f64 / 2.0) * SITE_WIDTH_UM;
                             let cost = (x - centroid.0).abs() + (y - centroid.1).abs();
-                            let slot = Slot { row: row as u32, site: pos as u32, width: width as u32 };
+                            let slot =
+                                Slot { row: row as u32, site: pos as u32, width: width as u32 };
                             if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                                 best = Some((cost, slot));
                             }

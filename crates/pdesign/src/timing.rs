@@ -56,11 +56,7 @@ pub fn analyze(nl: &Netlist, view: &CombView, layout: &Layout) -> TimingReport {
     for &gid in &view.order {
         let gate = nl.gate(gid).expect("live gate");
         let cell = nl.lib().cell(gate.cell);
-        let in_arr = gate
-            .inputs
-            .iter()
-            .map(|&n| arrivals[n.index()])
-            .fold(0.0f64, f64::max);
+        let in_arr = gate.inputs.iter().map(|&n| arrivals[n.index()]).fold(0.0f64, f64::max);
         for &o in &gate.outputs {
             let load = net_load_ff(nl, layout, o);
             arrivals[o.index()] = in_arr + cell.intrinsic_delay + cell.delay_slope * load;

@@ -2,11 +2,11 @@
 //! legality, routing connectivity, and timing-graph invariants.
 
 use proptest::prelude::*;
-use rsyn_pdesign::flow::physical_design;
+use rsyn_netlist::{Library, NetId, Netlist};
 use rsyn_pdesign::floorplan::Floorplan;
+use rsyn_pdesign::flow::physical_design;
 use rsyn_pdesign::place::Placement;
 use rsyn_pdesign::route::route;
-use rsyn_netlist::{Library, NetId, Netlist};
 
 fn random_netlist(seed: u64, gates: usize) -> Netlist {
     let lib = Library::osu018();

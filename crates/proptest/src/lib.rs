@@ -1,0 +1,271 @@
+//! Offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the subset of the proptest API its property tests use:
+//! the [`proptest!`] macro, [`ProptestConfig::with_cases`], integer range
+//! and [`any`] strategies, and the `prop_assert*` macros. Call sites
+//! compile unchanged against the real crate.
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test stream (seeded from the test name), and failing cases are
+//! reported by panic without shrinking. For this workspace — whose
+//! properties are cheap and whose inputs are small seeds — reproducibility
+//! matters more than minimisation.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic case-generation stream (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Builds the stream for a named test: the seed is a hash of the name,
+    /// so every run of the suite replays identical cases.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value from the stream.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Integer types usable in range strategies.
+pub trait UniformValue: Copy {
+    /// Samples from `[low, high)` (exclusive) or `[low, high]` (inclusive).
+    fn uniform(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_value {
+    ($($t:ty),*) => {$(
+        impl UniformValue for $t {
+            fn uniform(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self {
+                let lo = low as i128;
+                let hi = high as i128 + if inclusive { 1 } else { 0 };
+                debug_assert!(lo < hi, "empty strategy range");
+                let span = (hi - lo) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: UniformValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Types with a whole-domain strategy, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain; see [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The whole-domain strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` that replays `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!("case ", "{}", $(" ", stringify!($arg), " = {:?}",)*),
+                    __case $(, &$arg)*
+                );
+                // Bodies may `return Ok(())` early, as with the real crate,
+                // so each case runs inside a `Result`-returning closure.
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), ::std::string::String> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                match __result {
+                    Err(e) => {
+                        eprintln!("proptest failure [{}]: {}", stringify!($name), __inputs);
+                        ::std::panic::resume_unwind(e);
+                    }
+                    Ok(Err(msg)) => {
+                        panic!("proptest failure [{}]: {}: {}", stringify!($name), __inputs, msg);
+                    }
+                    Ok(Ok(())) => {}
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a property-test condition, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality in a property test, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality in a property test, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges_respect_bounds");
+        for _ in 0..1000 {
+            let v = (3u64..17).sample_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u8..=15).sample_value(&mut rng);
+            assert!(w <= 15);
+            let x = (0..16).sample_value(&mut rng);
+            assert!((0..16).contains(&x));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro form itself works end to end.
+        #[test]
+        fn macro_generates_cases(a in 0u64..100, b in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+        }
+    }
+}

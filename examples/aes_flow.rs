@@ -50,7 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = InternalCatalog::build(&lib);
     let faults = extract_faults(&nl, &pd.layout, &guidelines, &catalog);
     let internal = faults.iter().filter(|f| f.is_internal()).count();
-    println!("== faults == F = {} ({} internal, {} external)", faults.len(), internal, faults.len() - internal);
+    println!(
+        "== faults == F = {} ({} internal, {} external)",
+        faults.len(),
+        internal,
+        faults.len() - internal
+    );
 
     // 5. ATPG: random phase + PODEM with undetectability proofs.
     let view = nl.comb_view()?;

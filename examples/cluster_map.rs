@@ -57,6 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {}", row.iter().collect::<String>());
     }
     let dist = state.clusters.size_distribution();
-    println!("cluster sizes (faults): {:?}{}", &dist[..dist.len().min(15)], if dist.len() > 15 { " …" } else { "" });
+    println!(
+        "cluster sizes (faults): {:?}{}",
+        &dist[..dist.len().min(15)],
+        if dist.len() > 15 { " …" } else { "" }
+    );
     Ok(())
 }

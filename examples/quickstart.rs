@@ -10,9 +10,12 @@ use rsyn::netlist::{Library, NetlistStats};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The 21-cell OSU-flavoured library and shared tooling (mapper, DFM
-    // guidelines, internal defect catalogs, ATPG options).
+    // guidelines, internal defect catalogs, ATPG options). ATPG runs
+    // fault-sharded across 8 worker threads here; any thread count —
+    // including the default 0 = all available cores — produces
+    // byte-identical results.
     let lib = Library::osu018();
-    let ctx = FlowContext::new(lib.clone());
+    let ctx = FlowContext::new(lib.clone()).with_threads(8);
 
     // Build one of the benchmark generators: a trap-logic-unit style block.
     let nl = build_benchmark_with("sparc_tlu", &lib, &ctx.mapper).expect("known benchmark");
@@ -26,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("undetectable U      : {}", state.undetectable_count());
     println!("coverage (1 - U/F)  : {:.2}%", 100.0 * state.coverage());
     println!("tests               : {}", state.atpg.tests.len());
-    println!("largest cluster     : {} faults over {} gates", state.s_max_size(), state.g_max().len());
+    println!(
+        "largest cluster     : {} faults over {} gates",
+        state.s_max_size(),
+        state.g_max().len()
+    );
     println!("critical path       : {:.0} ps", state.delay_ps());
     println!("power               : {:.1} uW", state.power_uw());
     println!();

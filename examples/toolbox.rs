@@ -53,11 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Fault dictionary + a diagnosis query.
     let view = state.nl.comb_view()?;
     let dict = FaultDictionary::build(&state.nl, &view, &state.faults, &state.atpg.tests);
-    if let Some(victim) = state
-        .atpg
-        .statuses
-        .iter()
-        .position(|s| *s == rsyn::atpg::FaultStatus::Detected)
+    if let Some(victim) =
+        state.atpg.statuses.iter().position(|s| *s == rsyn::atpg::FaultStatus::Detected)
     {
         let fails: Vec<usize> =
             (0..dict.test_count()).filter(|&t| dict.detects(victim, t)).collect();

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository verification gate: formatting, lints, build, and the tier-1
+# test suite. Run from anywhere; everything is offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q (tier-1)"
+cargo test -q
+
+echo "verify: OK"

@@ -8,7 +8,9 @@
 //!
 //! * [`netlist`] — cells, the 21-cell library, the gate-level netlist;
 //! * [`logic`] — AIG synthesis and restricted technology mapping;
-//! * [`atpg`] — PODEM test generation and fault simulation;
+//! * [`atpg`] — PODEM test generation and fault simulation (with a
+//!   fault-sharded parallel engine whose results are thread-count
+//!   independent, and cone-of-influence incremental re-evaluation);
 //! * [`dfm`] — DFM guidelines, layout scanning, defect→fault translation;
 //! * [`pdesign`] — floorplan, placement, routing, timing and power;
 //! * [`circuits`] — the benchmark circuit generators;

@@ -56,10 +56,7 @@ fn resynthesis_improves_coverage_within_constraints() {
     assert!(out.state.undetectable_count() < original.undetectable_count());
     assert!(constraints.satisfied_by(&out.state), "delay/power within q = 5%");
     // Die area is structurally fixed: same floorplan.
-    assert_eq!(
-        out.state.pd.placement.floorplan(),
-        original.pd.placement.floorplan()
-    );
+    assert_eq!(out.state.pd.placement.floorplan(), original.pd.placement.floorplan());
     out.state.nl.validate().expect("valid netlist after resynthesis");
 }
 
