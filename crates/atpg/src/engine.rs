@@ -210,10 +210,12 @@ pub fn run_atpg(
     faults: &[Fault],
     options: &AtpgOptions,
 ) -> AtpgResult {
+    let _span = rsyn_observe::span("atpg.run");
     let spans = shard_spans(faults.len());
     let mut parts: Vec<Option<ShardPart>> = Vec::new();
     let workers = options.effective_threads().min(spans.len()).max(1);
     if workers <= 1 {
+        let t0 = std::time::Instant::now();
         for (i, span) in spans.iter().enumerate() {
             parts.push(Some(run_shard(
                 nl,
@@ -223,22 +225,39 @@ pub fn run_atpg(
                 shard_seed(options.seed, i as u64),
             )));
         }
+        rsyn_observe::volatile_add("atpg.worker0.shards", spans.len() as f64);
+        rsyn_observe::volatile_add("atpg.worker0.busy_ms", t0.elapsed().as_secs_f64() * 1e3);
     } else {
         let slots: Vec<Mutex<Option<ShardPart>>> = spans.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(span) = spans.get(i) else { break };
-                    let part = run_shard(
-                        nl,
-                        view,
-                        &faults[span.clone()],
-                        options,
-                        shard_seed(options.seed, i as u64),
+            let spans = &spans;
+            let slots = &slots;
+            let next = &next;
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    let mut processed = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(span) = spans.get(i) else { break };
+                        let part = run_shard(
+                            nl,
+                            view,
+                            &faults[span.clone()],
+                            options,
+                            shard_seed(options.seed, i as u64),
+                        );
+                        *slots[i].lock().expect("shard slot") = Some(part);
+                        processed += 1;
+                    }
+                    // Which worker ran which shard is scheduling-dependent:
+                    // per-worker tallies are volatile by design.
+                    rsyn_observe::volatile_add(&format!("atpg.worker{w}.shards"), processed as f64);
+                    rsyn_observe::volatile_add(
+                        &format!("atpg.worker{w}.busy_ms"),
+                        t0.elapsed().as_secs_f64() * 1e3,
                     );
-                    *slots[i].lock().expect("shard slot") = Some(part);
                 });
             }
         });
@@ -256,12 +275,19 @@ pub fn run_atpg(
         statuses.extend(part.statuses);
         tests.extend(part.tests.patterns().iter().cloned());
     }
+    let tests_merged = tests.len() as u64;
 
     // --- compaction -----------------------------------------------------------------
     if options.compact && !tests.is_empty() {
+        let _span = rsyn_observe::span("atpg.compact");
         compact(nl, view, faults, &statuses, &mut tests);
     }
 
+    rsyn_observe::add_many(&[
+        ("atpg.runs", 1),
+        ("atpg.tests.merged", tests_merged),
+        ("atpg.tests.final", tests.len() as u64),
+    ]);
     AtpgResult { statuses, tests }
 }
 
@@ -311,6 +337,8 @@ fn run_shard(
             }
         }
     }
+
+    let random_detected = statuses.iter().filter(|s| **s == FaultStatus::Detected).count() as u64;
 
     // --- deterministic phase -----------------------------------------------------
     // Every PODEM detection is confirmed against the independent fault
@@ -396,6 +424,19 @@ fn run_shard(
         drop_faults(&mut sim, faults, &mut statuses, &drop_buffer, npis);
     }
 
+    // One registry flush per shard (not per fault): counters stay off the
+    // hot path, and per-shard totals are thread-count independent because
+    // shard boundaries are.
+    let count = |status: FaultStatus| statuses.iter().filter(|s| **s == status).count() as u64;
+    rsyn_observe::add_many(&[
+        ("atpg.shards", 1),
+        ("atpg.faults", faults.len() as u64),
+        ("atpg.random.detected", random_detected),
+        ("atpg.podem.backtracks", podem.backtracks()),
+        ("atpg.detected", count(FaultStatus::Detected)),
+        ("atpg.undetectable", count(FaultStatus::Undetectable)),
+        ("atpg.aborted", count(FaultStatus::Aborted)),
+    ]);
     ShardPart { statuses, tests }
 }
 

@@ -121,9 +121,11 @@ pub fn run_atpg_incremental(
     previous: &PreviousEvaluation<'_>,
     changed_gates: &[GateId],
 ) -> AtpgResult {
+    let _span = rsyn_observe::span("atpg.incremental");
     let prev_pi_len = previous.result.tests.patterns().first().map(crate::testset::Pattern::len);
     let interface_changed = prev_pi_len.is_some_and(|n| n != view.pis.len());
     if previous.faults.len() != previous.result.statuses.len() || interface_changed {
+        rsyn_observe::add("atpg.incremental.full_fallbacks", 1);
         return run_atpg(nl, view, faults, options);
     }
 
@@ -139,6 +141,12 @@ pub fn run_atpg_incremental(
             _ => rerun.push(i),
         }
     }
+
+    rsyn_observe::add_many(&[
+        ("atpg.incremental.runs", 1),
+        ("atpg.incremental.carried", (faults.len() - rerun.len()) as u64),
+        ("atpg.incremental.rerun", rerun.len() as u64),
+    ]);
 
     // Re-run the affected subset through the (parallel) engine, without
     // per-subset compaction: compaction happens once, globally, below.
@@ -163,6 +171,7 @@ pub fn run_atpg_incremental(
             })
             .collect();
         if !rescue.is_empty() {
+            rsyn_observe::add("atpg.incremental.rescued", rescue.len() as u64);
             let rescue_faults: Vec<Fault> = rescue.iter().map(|&i| faults[i].clone()).collect();
             let rescued = run_atpg(nl, view, &rescue_faults, &sub_options);
             for (k, &i) in rescue.iter().enumerate() {

@@ -88,6 +88,10 @@ pub struct Podem<'a> {
     is_po: Vec<bool>,
     /// Seed for randomised don't-care fill (None = zeros).
     fill_seed: Option<u64>,
+    /// Chronological backtracks of the current/last search.
+    run_backtracks: usize,
+    /// Backtracks of all *finished* searches on this engine.
+    finished_backtracks: u64,
 }
 
 impl<'a> Podem<'a> {
@@ -110,7 +114,17 @@ impl<'a> Podem<'a> {
             backtrack_limit,
             is_po,
             fill_seed: None,
+            run_backtracks: 0,
+            finished_backtracks: 0,
         }
+    }
+
+    /// Cumulative chronological backtracks across every search this engine
+    /// has run — the PODEM effort metric reported in run manifests. The
+    /// count is deterministic: each search's backtracks depend only on the
+    /// netlist and the target.
+    pub fn backtracks(&self) -> u64 {
+        self.finished_backtracks + self.run_backtracks as u64
     }
 
     /// Runs the search for one target (unassigned inputs filled with 0).
@@ -122,6 +136,8 @@ impl<'a> Podem<'a> {
     /// stream instead of zeros. Different seeds produce *distinct* tests
     /// for the same target — the mechanism behind N-detect augmentation.
     pub fn run_with_fill(&mut self, target: &Target, fill_seed: Option<u64>) -> PodemOutcome {
+        self.finished_backtracks += self.run_backtracks as u64;
+        self.run_backtracks = 0;
         self.fill_seed = fill_seed;
         self.assignment.fill(None);
         let req = requirements(self.nl, target);
@@ -135,16 +151,15 @@ impl<'a> Podem<'a> {
             }
         }
         let mut decisions: Vec<Decision> = Vec::new();
-        let mut backtracks = 0usize;
         loop {
             self.imply(target);
             match self.evaluate(target, &req) {
                 Eval::Success => return PodemOutcome::Detected(self.pattern()),
                 Eval::Fail => {
-                    if !backtrack(&mut decisions, &mut self.assignment, &mut backtracks) {
+                    if !backtrack(&mut decisions, &mut self.assignment, &mut self.run_backtracks) {
                         return PodemOutcome::Undetectable;
                     }
-                    if backtracks > self.backtrack_limit {
+                    if self.run_backtracks > self.backtrack_limit {
                         return PodemOutcome::Aborted;
                     }
                 }
@@ -168,10 +183,14 @@ impl<'a> Podem<'a> {
                         None => {
                             // All PIs assigned yet indecisive: cannot happen
                             // (all nets are known then), but fail safely.
-                            if !backtrack(&mut decisions, &mut self.assignment, &mut backtracks) {
+                            if !backtrack(
+                                &mut decisions,
+                                &mut self.assignment,
+                                &mut self.run_backtracks,
+                            ) {
                                 return PodemOutcome::Undetectable;
                             }
-                            if backtracks > self.backtrack_limit {
+                            if self.run_backtracks > self.backtrack_limit {
                                 return PodemOutcome::Aborted;
                             }
                         }

@@ -6,19 +6,22 @@
 //!
 //! Usage: `cargo run --release -p rsyn-bench --bin ablation_library [circuit…]`
 
-use rsyn_bench::{analyzed, context};
+use rsyn_bench::{analyzed, context, write_manifest};
 use rsyn_core::constraints::DesignConstraints;
 use rsyn_core::flow::DesignState;
 use rsyn_core::resynth::{resynthesize, ResynthOptions};
 use rsyn_logic::map::MapOptions;
 use rsyn_logic::Window;
 use rsyn_netlist::{CellClass, CellId};
+use rsyn_observe::manifest::Run;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let circuits: Vec<String> =
         if args.is_empty() { vec!["sparc_ifu".to_string(), "sparc_fpu".to_string()] } else { args };
     let ctx = context();
+    let mut run = Run::start("ablation_library", ctx.seed);
+    run.record_threads(0, ctx.atpg.effective_threads());
     let order = ctx.catalog.cells_by_internal_faults(&ctx.lib);
     let removed: Vec<String> = order[..7].iter().map(|&c| ctx.lib.cell(c).name.clone()).collect();
     println!("library ablation: removing the 7 most-faulty cells: {removed:?}");
@@ -45,7 +48,13 @@ fn main() {
             .expect("restricted library is complete");
         let fp = original.pd.placement.floorplan();
         match DesignState::analyze(nl, &ctx, Some((fp, None))) {
-            Ok(naive) => report(name, "restricted library", &original, &naive),
+            Ok(naive) => {
+                report(name, "restricted library", &original, &naive);
+                run.result(
+                    format!("{name}.naive.undetectable"),
+                    naive.undetectable_count().to_string(),
+                );
+            }
             Err(e) => {
                 println!("{name:<12} {:<22} does not fit the floorplan: {e}", "restricted library")
             }
@@ -55,7 +64,13 @@ fn main() {
         let constraints = DesignConstraints::from_original(&original, 5.0);
         let targeted = resynthesize(&original, &ctx, &constraints, &ResynthOptions::default());
         report(name, "targeted resynthesis", &original, &targeted.state);
+        run.result(format!("{name}.orig.undetectable"), original.undetectable_count().to_string());
+        run.result(
+            format!("{name}.targeted.undetectable"),
+            targeted.state.undetectable_count().to_string(),
+        );
     }
+    write_manifest(run);
 }
 
 fn report(circuit: &str, variant: &str, original: &DesignState, state: &DesignState) {

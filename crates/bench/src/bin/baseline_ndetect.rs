@@ -17,12 +17,15 @@ use rsyn_atpg::engine::targets_of;
 use rsyn_atpg::fault::FaultStatus;
 use rsyn_atpg::podem::{Podem, PodemOutcome};
 use rsyn_atpg::sim::FaultSim;
-use rsyn_bench::{analyzed, context};
+use rsyn_bench::{analyzed, context, write_manifest};
 use rsyn_cluster::gates_of_fault;
+use rsyn_observe::manifest::Run;
 
 fn main() {
     let circuit = std::env::args().nth(1).unwrap_or_else(|| "sparc_exu".to_string());
     let ctx = context();
+    let mut run = Run::start("baseline_ndetect", ctx.seed);
+    run.record_threads(0, ctx.atpg.effective_threads());
     let state = analyzed(&circuit, &ctx);
     let view = state.nl.comb_view().unwrap();
     let base_tests = state.atpg.tests.len();
@@ -102,7 +105,11 @@ fn main() {
             base_tests + extra,
             (base_tests + extra) as f64 / base_tests as f64
         );
+        run.result(format!("{circuit}.n{n}.tests"), (base_tests + extra).to_string());
     }
+    run.result(format!("{circuit}.base.tests"), base_tests.to_string());
+    run.result(format!("{circuit}.adjacent"), adjacent.len().to_string());
+    write_manifest(run);
     println!(
         "(compare: the resynthesis procedure keeps T roughly flat while removing the \
          undetectable faults themselves — Table II)"

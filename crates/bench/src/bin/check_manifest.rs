@@ -1,0 +1,91 @@
+//! CI gate over run manifests (see `rsyn_observe::manifest`).
+//!
+//! Two modes:
+//!
+//! * **Baseline diff** (default): `check_manifest <baseline> <current>`
+//!   compares a freshly produced manifest against a checked-in baseline —
+//!   exact equality on schema, name, seed, every counter and every result;
+//!   timings shared by both files must stay within a ratio band
+//!   (`--timing-tolerance R`, default 1000, i.e. only catastrophic drift
+//!   fails; pass `--no-timings` to skip them entirely).
+//! * **Determinism**: `check_manifest --determinism <a> <b>` asserts the
+//!   *stable* serialisations of two manifests are byte-identical — the
+//!   thread-count-independence gate (same run at `--threads 1` vs `N`).
+//!
+//! Exit status: 0 on pass; 1 with one line per mismatch on stderr on fail;
+//! 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use rsyn_observe::manifest::{diff, DiffConfig, Manifest};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: check_manifest [--timing-tolerance R | --no-timings] <baseline> <current>\n\
+         \u{20}      check_manifest --determinism <a> <b>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = DiffConfig::default();
+    let mut determinism = false;
+    if let Some(i) = args.iter().position(|a| a == "--determinism") {
+        determinism = true;
+        args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--no-timings") {
+        cfg.compare_timings = false;
+        args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--timing-tolerance") {
+        if i + 1 >= args.len() {
+            return usage();
+        }
+        match args[i + 1].parse::<f64>() {
+            Ok(r) if r >= 1.0 => cfg.timing_tolerance = r,
+            _ => {
+                eprintln!("--timing-tolerance must be a ratio >= 1");
+                return ExitCode::from(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let [a, b] = args.as_slice() else {
+        return usage();
+    };
+
+    let (left, right) = match (Manifest::read(a), Manifest::read(b)) {
+        (Ok(l), Ok(r)) => (l, r),
+        (l, r) => {
+            for e in [l.err(), r.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    if determinism {
+        if left.stable_json() == right.stable_json() {
+            println!("determinism ok: {a} and {b} agree on the stable manifest");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("determinism FAILED: stable manifests differ between {a} and {b}");
+        for e in diff(&left, &right, &DiffConfig { compare_timings: false, ..cfg }) {
+            eprintln!("  {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let errors = diff(&left, &right, &cfg);
+    if errors.is_empty() {
+        println!("manifest ok: {b} matches baseline {a}");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("manifest check FAILED: {b} vs baseline {a}");
+    for e in &errors {
+        eprintln!("  {e}");
+    }
+    ExitCode::FAILURE
+}

@@ -6,14 +6,17 @@
 //!
 //! Usage: `cargo run --release -p rsyn-bench --bin fig2_phases [circuit]`
 
-use rsyn_bench::{analyzed, context};
+use rsyn_bench::{analyzed, context, write_manifest};
 use rsyn_core::constraints::DesignConstraints;
 use rsyn_core::resynth::{resynthesize, Phase, ResynthOptions};
+use rsyn_observe::manifest::Run;
 
 fn main() {
     let circuit = std::env::args().nth(1).unwrap_or_else(|| "sparc_exu".to_string());
     let q: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(5.0);
     let ctx = context();
+    let mut run = Run::start("fig2_phases", ctx.seed);
+    run.record_threads(0, ctx.atpg.effective_threads());
     let original = analyzed(&circuit, &ctx);
     let constraints = DesignConstraints::from_original(&original, q);
     let options = ResynthOptions::default();
@@ -55,4 +58,9 @@ fn main() {
         100.0 * original.coverage(),
         100.0 * out.state.coverage()
     );
+    run.result(format!("{circuit}.orig.undetectable"), original.undetectable_count().to_string());
+    run.result(format!("{circuit}.final.undetectable"), out.state.undetectable_count().to_string());
+    run.result(format!("{circuit}.final.smax"), out.state.s_max_size().to_string());
+    run.result(format!("{circuit}.iterations"), out.trace.len().to_string());
+    write_manifest(run);
 }

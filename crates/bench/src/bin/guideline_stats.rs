@@ -4,14 +4,17 @@
 //!
 //! Usage: `cargo run --release -p rsyn-bench --bin guideline_stats [circuit…]`
 
-use rsyn_bench::{analyzed, context};
+use rsyn_bench::{analyzed, context, write_manifest};
 use rsyn_dfm::DeckReport;
+use rsyn_observe::manifest::Run;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let circuits: Vec<String> =
         if args.is_empty() { vec!["sparc_exu".to_string(), "aes_core".to_string()] } else { args };
     let ctx = context();
+    let mut run = Run::start("guideline_stats", ctx.seed);
+    run.record_threads(0, ctx.atpg.effective_threads());
     for name in &circuits {
         let state = analyzed(name, &ctx);
         let report = DeckReport::build(&state.faults, &state.atpg.statuses);
@@ -19,11 +22,16 @@ fn main() {
         println!("{:<10} {:>8} {:>9} {:>13}", "category", "faults", "internal", "undetectable");
         for (cat, s) in report.per_category(&ctx.guidelines) {
             println!("{:<10} {:>8} {:>9} {:>13}", cat, s.faults, s.internal, s.undetectable);
+            run.result(format!("{name}.{cat}.faults"), s.faults.to_string());
+            run.result(format!("{name}.{cat}.undetectable"), s.undetectable.to_string());
         }
         println!("worst guidelines by undetectable faults:");
         for (id, s) in report.worst_guidelines(5) {
             let gname = ctx.guidelines.by_id(id).map(|g| g.name.clone()).unwrap_or_default();
             println!("  [{id:>2}] {gname:<50} U={} / F={}", s.undetectable, s.faults);
         }
+        run.result(format!("{name}.faults"), state.fault_count().to_string());
+        run.result(format!("{name}.undetectable"), state.undetectable_count().to_string());
     }
+    write_manifest(run);
 }

@@ -6,14 +6,17 @@
 //! Usage: `cargo run --release -p rsyn-bench --bin profile_eval [circuit]`
 
 use rsyn_atpg::engine::{run_atpg, AtpgOptions};
-use rsyn_bench::{analyzed, context};
+use rsyn_bench::{analyzed, context, write_manifest};
 use rsyn_dfm::{extract_faults, scan_layout};
+use rsyn_observe::manifest::Run;
 use rsyn_pdesign::flow::physical_design_in;
 use std::time::Instant;
 
 fn main() {
     let circuit = std::env::args().nth(1).unwrap_or_else(|| "tv80".to_string());
     let ctx = context();
+    let mut run = Run::start("profile_eval", ctx.seed);
+    run.record_threads(0, ctx.atpg.effective_threads());
     let t0 = Instant::now();
     let state = analyzed(&circuit, &ctx);
     println!(
@@ -52,4 +55,9 @@ fn main() {
         r2.undetectable_count(),
         r2.tests.len()
     );
+    run.result(format!("{circuit}.faults"), faults.len().to_string());
+    run.result(format!("{circuit}.undetectable"), r1.undetectable_count().to_string());
+    run.result(format!("{circuit}.tests.compact"), r1.tests.len().to_string());
+    run.result(format!("{circuit}.tests.nocompact"), r2.tests.len().to_string());
+    write_manifest(run);
 }

@@ -6,15 +6,18 @@
 //!
 //! Usage: `cargo run --release -p rsyn-bench --bin sweep_exclusion [circuit]`
 
-use rsyn_bench::{analyzed, context};
+use rsyn_bench::{analyzed, context, write_manifest};
 use rsyn_core::flow::DesignState;
 use rsyn_logic::map::MapOptions;
 use rsyn_logic::Window;
 use rsyn_netlist::{CellClass, CellId};
+use rsyn_observe::manifest::Run;
 
 fn main() {
     let circuit = std::env::args().nth(1).unwrap_or_else(|| "sparc_exu".to_string());
     let ctx = context();
+    let mut run = Run::start("sweep_exclusion", ctx.seed);
+    run.record_threads(0, ctx.atpg.effective_threads());
     let original = analyzed(&circuit, &ctx);
     let order = ctx.catalog.cells_by_internal_faults(&ctx.lib);
     println!("exclusion-prefix sweep on {circuit} (whole-circuit remap per prefix)");
@@ -77,5 +80,11 @@ fn main() {
             u_in,
             state.undetectable_count() - u_in
         );
+        run.result(
+            format!("{circuit}.prefix_{i}.undetectable"),
+            state.undetectable_count().to_string(),
+        );
     }
+    run.result(format!("{circuit}.orig.undetectable"), original.undetectable_count().to_string());
+    write_manifest(run);
 }

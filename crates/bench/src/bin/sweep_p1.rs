@@ -5,13 +5,16 @@
 //!
 //! Usage: `cargo run --release -p rsyn-bench --bin sweep_p1 [circuit]`
 
-use rsyn_bench::{analyzed, context};
+use rsyn_bench::{analyzed, context, write_manifest};
 use rsyn_core::constraints::DesignConstraints;
 use rsyn_core::resynth::{resynthesize, Phase, ResynthOptions};
+use rsyn_observe::manifest::Run;
 
 fn main() {
     let circuit = std::env::args().nth(1).unwrap_or_else(|| "sparc_exu".to_string());
     let ctx = context();
+    let mut run = Run::start("sweep_p1", ctx.seed);
+    run.record_threads(0, ctx.atpg.effective_threads());
     let original = analyzed(&circuit, &ctx);
     let constraints = DesignConstraints::from_original(&original, 5.0);
     println!(
@@ -39,5 +42,11 @@ fn main() {
             out.state.s_max_percent_of_f(),
             out.full_evaluations
         );
+        run.result(
+            format!("{circuit}.p1_{p1}.undetectable"),
+            out.state.undetectable_count().to_string(),
+        );
+        run.result(format!("{circuit}.p1_{p1}.smax"), out.state.s_max_size().to_string());
     }
+    write_manifest(run);
 }

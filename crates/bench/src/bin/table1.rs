@@ -4,9 +4,10 @@
 //!
 //! Usage: `cargo run --release -p rsyn-bench --bin table1 [--threads N] [circuit…]`
 
-use rsyn_bench::{analyzed, context_with_threads, threads_flag};
+use rsyn_bench::{analyzed, context_with_threads, threads_flag, write_manifest};
 use rsyn_circuits::TABLE1_BENCHMARKS;
 use rsyn_core::report::Table1Row;
+use rsyn_observe::manifest::Run;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,6 +18,8 @@ fn main() {
         args
     };
     let ctx = context_with_threads(threads);
+    let mut run = Run::start("table1", ctx.seed);
+    run.record_threads(threads, ctx.atpg.effective_threads());
     eprintln!("runtime: threads={}", ctx.atpg.effective_threads());
     println!("TABLE I. CLUSTERED UNDETECTABLE FAULTS");
     println!("{}", Table1Row::header());
@@ -24,5 +27,10 @@ fn main() {
         let state = analyzed(name, &ctx);
         let row = Table1Row::of(name, &state);
         println!("{row}");
+        run.result(format!("{name}.faults"), state.fault_count().to_string());
+        run.result(format!("{name}.undetectable"), state.undetectable_count().to_string());
+        run.result(format!("{name}.smax"), state.s_max_size().to_string());
+        run.result_f64(format!("{name}.coverage"), state.coverage());
     }
+    write_manifest(run);
 }

@@ -8,9 +8,10 @@
 //! The table on stdout is byte-identical for any `--threads` value; a
 //! `runtime:` provenance line per circuit goes to stderr.
 
-use rsyn_bench::{analyzed, context_with_threads, parse_args, threads_flag};
+use rsyn_bench::{analyzed, context_with_threads, parse_args, threads_flag, write_manifest};
 use rsyn_core::report::{average_rows, RuntimeReport, Table2Row};
 use rsyn_core::resynth::{run_q_sweep_stepped, ResynthOptions};
+use rsyn_observe::manifest::Run;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +25,8 @@ fn main() {
     }
     let (max_q, circuits) = parse_args(&args);
     let ctx = context_with_threads(threads);
+    let mut run = Run::start("table2", ctx.seed);
+    run.record_threads(threads, ctx.atpg.effective_threads());
     let options = ResynthOptions::default();
 
     println!(
@@ -41,6 +44,13 @@ fn main() {
         let resyn_row = Table2Row::resynthesized(name, &original, &sweep);
         println!("{resyn_row}");
         eprintln!("{name}: {}", RuntimeReport::of(&ctx, &sweep));
+        let resyn = sweep.final_state();
+        run.result(format!("{name}.orig.undetectable"), original.undetectable_count().to_string());
+        run.result_f64(format!("{name}.orig.coverage"), original.coverage());
+        run.result(format!("{name}.resyn.undetectable"), resyn.undetectable_count().to_string());
+        run.result_f64(format!("{name}.resyn.coverage"), resyn.coverage());
+        run.result(format!("{name}.chosen_q"), sweep.chosen_q.to_string());
+        run.result(format!("{name}.full_evaluations"), sweep.full_evaluations.to_string());
         orig_rows.push(orig_row);
         resyn_rows.push(resyn_row);
     }
@@ -48,4 +58,5 @@ fn main() {
         println!("{}", average_rows("orig", &orig_rows));
         println!("{}", average_rows("resyn", &resyn_rows));
     }
+    write_manifest(run);
 }

@@ -7,11 +7,13 @@
 //! <name>`. The table binaries accept `--threads N` to set the ATPG
 //! worker pool (0 = all cores); any value produces identical tables.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use rsyn_circuits::build_benchmark_with;
 use rsyn_core::flow::{DesignState, FlowContext};
 use rsyn_netlist::Library;
+use rsyn_observe::manifest::Run;
 
 /// Builds the shared flow context over the built-in library.
 pub fn context() -> FlowContext {
@@ -52,6 +54,24 @@ pub fn analyzed(name: &str, ctx: &FlowContext) -> DesignState {
 /// The library as an `Arc` (for binaries that need it directly).
 pub fn library() -> Arc<Library> {
     Library::osu018()
+}
+
+/// Directory run manifests are written to: `$RSYN_MANIFEST_DIR`, or
+/// `results/` when unset.
+pub fn manifest_dir() -> PathBuf {
+    std::env::var_os("RSYN_MANIFEST_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Finalizes an observability [`Run`] and writes its manifest to
+/// [`manifest_dir`], reporting the path on stderr. Panics on I/O failure
+/// (harness usage: a missing manifest must fail loudly, not silently).
+pub fn write_manifest(run: Run) {
+    let manifest = run.finish();
+    let dir = manifest_dir();
+    let path = manifest
+        .write_to_dir(&dir)
+        .unwrap_or_else(|e| panic!("writing manifest to {}: {e}", dir.display()));
+    eprintln!("manifest: {}", path.display());
 }
 
 /// Parses `--max-q N` style flags plus positional circuit names from CLI

@@ -143,6 +143,8 @@ fn push_net_gates(nl: &Netlist, net: NetId, out: &mut Vec<GateId>) {
 /// Partitions the faults selected by `subset` (indices into `faults`) into
 /// clusters of structurally adjacent faults.
 pub fn cluster_faults(nl: &Netlist, faults: &[Fault], subset: &[usize]) -> Clusters {
+    let _span = rsyn_observe::span("cluster");
+    rsyn_observe::add_many(&[("cluster.runs", 1), ("cluster.faults", subset.len() as u64)]);
     let fault_gates: Vec<Vec<GateId>> =
         subset.iter().map(|&fi| gates_of_fault(nl, &faults[fi])).collect();
 

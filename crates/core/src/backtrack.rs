@@ -31,6 +31,7 @@ pub(crate) fn backtrack(
     map_options: &MapOptions,
     evaluations: &mut usize,
 ) -> Option<DesignState> {
+    rsyn_observe::add("resynth.backtrack.calls", 1);
     // G_i: window gates of banned cell types, ordered so that the most
     // timing-critical gates are *removed first* (moved to G_back): the
     // constraint violations come from rebuilding critical-path gates, so
@@ -62,6 +63,7 @@ pub(crate) fn backtrack(
     // Evaluate with the last `k` groups of G_i spared (moved to G_back).
     let mut cache: Vec<Option<Option<DesignState>>> = vec![None; groups + 1];
     let eval_k = |k: usize, evaluations: &mut usize| -> Option<DesignState> {
+        rsyn_observe::add("resynth.backtrack.evals", 1);
         let spared = (k * step).min(n);
         let win: Vec<GateId> = g_i[..n - spared].to_vec();
         evaluate_candidate(ctx, state, &win, allowed, map_options, evaluations)
@@ -113,6 +115,7 @@ pub(crate) fn backtrack(
     }
     let (k, cand) = best?;
     if accept(&cand) {
+        rsyn_observe::add("resynth.backtrack.accepted", 1);
         return Some(cand);
     }
     // Constraints recovered but the shrunken replacement no longer meets the
@@ -120,9 +123,11 @@ pub(crate) fn backtrack(
     // time (Section III-C), i.e. reduce the spared count step-wise.
     let spared = (k * step).min(n);
     for spared2 in (spared.saturating_sub(step)..spared).rev() {
+        rsyn_observe::add("resynth.backtrack.group_shrinks", 1);
         let win: Vec<GateId> = g_i[..n - spared2].to_vec();
         if let Some(c2) = evaluate_candidate(ctx, state, &win, allowed, map_options, evaluations) {
             if accept(&c2) && constraints.satisfied_by(&c2) {
+                rsyn_observe::add("resynth.backtrack.accepted", 1);
                 return Some(c2);
             }
         }

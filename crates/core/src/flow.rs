@@ -90,6 +90,8 @@ impl DesignState {
         ctx: &FlowContext,
         fixed: Option<(Floorplan, Option<&Placement>)>,
     ) -> Result<Self, PlaceError> {
+        let _span = rsyn_observe::span("flow.analyze");
+        rsyn_observe::add("flow.analyses", 1);
         let pd = match fixed {
             None => physical_design(&nl, ctx.seed)?,
             Some((fp, prev)) => physical_design_in(&nl, fp, prev, ctx.seed)?,
@@ -120,6 +122,8 @@ impl DesignState {
         prev: &DesignState,
         changed_gates: &[GateId],
     ) -> Result<Self, PlaceError> {
+        let _span = rsyn_observe::span("flow.analyze_incremental");
+        rsyn_observe::add("flow.analyses_incremental", 1);
         let pd = match fixed {
             None => physical_design(&nl, ctx.seed)?,
             Some((fp, prev_pl)) => physical_design_in(&nl, fp, prev_pl, ctx.seed)?,

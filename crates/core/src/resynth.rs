@@ -120,6 +120,7 @@ pub(crate) fn evaluate_candidate(
     if window_gates.is_empty() {
         return None;
     }
+    rsyn_observe::add("resynth.candidates", 1);
     let mut nl = base.nl.clone();
     let window = Window::extract(&nl, window_gates);
     let old_weight: usize = window
@@ -135,6 +136,7 @@ pub(crate) fn evaluate_candidate(
     // The paper's gate on PDesign(): the (cheaply computable) undetectable
     // internal fault weight must decrease before physical design is re-run.
     if new_weight >= old_weight {
+        rsyn_observe::add("resynth.precheck_rejects", 1);
         trace_log(|| {
             format!(
                 "precheck reject: window {} gates, weight {} -> {}",
@@ -162,6 +164,7 @@ pub(crate) fn evaluate_candidate(
         DesignState::analyze(nl, ctx, Some((fp, Some(&base.pd.placement))))
     };
     if let Err(e) = &result {
+        rsyn_observe::add("resynth.placement_rejects", 1);
         trace_log(|| format!("placement reject: window {} gates: {e}", window_gates.len()));
     }
     result.ok()
@@ -245,6 +248,7 @@ fn try_cells(
         if accept(&cand) {
             if constraints.satisfied_by(&cand) {
                 *banned_through = Some(ctx.lib.cell(cell_i).name.clone());
+                accepted_iteration(i);
                 return Some(cand);
             }
             if fallback.is_none() {
@@ -254,6 +258,7 @@ fn try_cells(
             // Trend-up termination (Section III-B).
             worse_streak += 1;
             if worse_streak >= options.trend_stop {
+                rsyn_observe::add("resynth.trend_stops", 1);
                 break;
             }
         }
@@ -269,6 +274,7 @@ fn try_cells(
     {
         if accept(&cand2) && constraints.satisfied_by(&cand2) {
             *banned_through = Some(ctx.lib.cell(cell_i).name.clone());
+            accepted_iteration(i);
             return Some(cand2);
         }
     }
@@ -286,10 +292,17 @@ fn try_cells(
         ) {
             *banned_through = Some(ctx.lib.cell(cell_i).name.clone());
             *used_backtracking = true;
+            accepted_iteration(i);
             return Some(bt);
         }
     }
     None
+}
+
+/// Counter bookkeeping for one accepted iteration whose winning candidate
+/// banned the cell-order prefix `cell_0..=cell_i` (`i + 1` excluded cells).
+fn accepted_iteration(i: usize) {
+    rsyn_observe::add_many(&[("resynth.accepted", 1), ("resynth.cells_excluded", i as u64 + 1)]);
 }
 
 fn trace_of(state: &DesignState, phase: Phase, banned: Option<String>, bt: bool) -> IterationTrace {
@@ -314,6 +327,7 @@ pub fn resynthesize(
     constraints: &DesignConstraints,
     options: &ResynthOptions,
 ) -> ResynthOutcome {
+    let _span = rsyn_observe::span("resynth");
     let mut state = original.clone();
     let mut trace = Vec::new();
     let mut evaluations = 0usize;
@@ -349,6 +363,7 @@ pub fn resynthesize(
         ) {
             Some(next) => {
                 state = next;
+                rsyn_observe::add("resynth.phase1.iterations", 1);
                 trace.push(trace_of(&state, Phase::One, banned, bt));
             }
             None => break,
@@ -386,6 +401,7 @@ pub fn resynthesize(
         ) {
             Some(next) => {
                 state = next;
+                rsyn_observe::add("resynth.phase2.iterations", 1);
                 trace.push(trace_of(&state, Phase::Two, banned, bt));
             }
             None => break,
@@ -453,6 +469,7 @@ pub fn run_q_sweep_stepped(
     max_q: u32,
     step: u32,
 ) -> QSweepOutcome {
+    let _span = rsyn_observe::span("qsweep");
     // Baseline runtime: one re-analysis of the original netlist.
     let t0 = Instant::now();
     let _ = DesignState::analyze(original.nl.clone(), ctx, None);

@@ -59,9 +59,20 @@ pub fn extract_faults(
     guidelines: &GuidelineSet,
     catalog: &InternalCatalog,
 ) -> Vec<Fault> {
+    let _span = rsyn_observe::span("dfm.extract");
     let mut faults = catalog.instance_faults(nl);
-    let violations = scan_layout(layout, guidelines);
+    let internal = faults.len() as u64;
+    let violations = {
+        let _scan_span = rsyn_observe::span("dfm.scan");
+        scan_layout(layout, guidelines)
+    };
     faults.extend(translate::translate_violations(nl, &violations));
+    rsyn_observe::add_many(&[
+        ("dfm.extracts", 1),
+        ("dfm.violations", violations.len() as u64),
+        ("dfm.faults.internal", internal),
+        ("dfm.faults.external", faults.len() as u64 - internal),
+    ]);
     faults
 }
 

@@ -1,0 +1,187 @@
+//! Flow-wide observability: stage spans, monotonic counters, and JSON run
+//! manifests — with zero dependencies, so every crate of the workspace can
+//! emit metrics without widening its API.
+//!
+//! # Model
+//!
+//! A process-global registry holds two kinds of metrics:
+//!
+//! * **Counters** (`u64`, [`add`]) are *deterministic*: for a fixed seed
+//!   and input they must not depend on the worker-thread count, the
+//!   machine, or scheduling. Producers guarantee this by counting work
+//!   whose amount is thread-count independent (e.g. per fault-shard, never
+//!   per worker) and flushing with commutative adds.
+//! * **Volatile metrics** (`f64`, [`volatile_add`]) carry everything that
+//!   legitimately varies run-to-run: wall-clock times, per-worker shard
+//!   tallies, thread provenance. They are reported but never compared
+//!   exactly.
+//!
+//! A [`Span`] (from [`span`]) bridges the two: dropping it bumps the
+//! deterministic counter `span.<name>.calls` and adds the elapsed time to
+//! the volatile metric `span.<name>.wall_ms`.
+//!
+//! [`manifest::Run`] snapshots the registry into a [`manifest::Manifest`]
+//! — the machine-readable record a benchmark binary writes to
+//! `results/manifest-<name>.json` and CI diffs against a checked-in
+//! baseline (`check_manifest`). Everything outside the manifest's
+//! `timings` object is byte-reproducible for a fixed seed, across thread
+//! counts.
+//!
+//! # Tests that snapshot the registry
+//!
+//! The registry is process-global; integration tests that compare
+//! snapshots must hold [`isolation_lock`] so concurrently running tests in
+//! the same process cannot interleave their counts.
+
+pub mod json;
+pub mod manifest;
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+pub use manifest::{Manifest, Run};
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    volatiles: BTreeMap<String, f64>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clears every counter and volatile metric (the start of a run).
+pub fn reset() {
+    let mut r = lock();
+    r.counters.clear();
+    r.volatiles.clear();
+}
+
+/// Adds `n` to the deterministic counter `name`, creating it at zero.
+pub fn add(name: &str, n: u64) {
+    if n == 0 {
+        return;
+    }
+    *lock().counters.entry(name.to_string()).or_insert(0) += n;
+}
+
+/// Adds a batch of counter increments under one registry lock — the flush
+/// primitive for per-shard accumulators on the hot path.
+pub fn add_many(entries: &[(&str, u64)]) {
+    let mut r = lock();
+    for &(name, n) in entries {
+        if n > 0 {
+            *r.counters.entry(name.to_string()).or_insert(0) += n;
+        }
+    }
+}
+
+/// Adds `v` to the volatile (non-deterministic) metric `name`.
+pub fn volatile_add(name: &str, v: f64) {
+    *lock().volatiles.entry(name.to_string()).or_insert(0.0) += v;
+}
+
+/// Sets the volatile metric `name` to `v` (last write wins).
+pub fn volatile_set(name: &str, v: f64) {
+    lock().volatiles.insert(name.to_string(), v);
+}
+
+/// Snapshot of all deterministic counters.
+pub fn counters() -> BTreeMap<String, u64> {
+    lock().counters.clone()
+}
+
+/// Snapshot of all volatile metrics.
+pub fn volatiles() -> BTreeMap<String, f64> {
+    lock().volatiles.clone()
+}
+
+/// One counter's current value (0 when never touched).
+pub fn counter(name: &str) -> u64 {
+    lock().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Serialises registry-snapshot tests: hold the returned guard for the
+/// whole measurement so parallel tests in the same process cannot pollute
+/// the counters between [`reset`] and the snapshot.
+pub fn isolation_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A stage timer: created by [`span`], records on drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    name: String,
+    start: Instant,
+}
+
+/// Starts a span named `name`. On drop it bumps the counter
+/// `span.<name>.calls` by one and adds the elapsed milliseconds to the
+/// volatile metric `span.<name>.wall_ms`. Spans may nest (inner stages are
+/// also part of their outer stage's wall time).
+pub fn span(name: &str) -> Span {
+    Span { name: name.to_string(), start: Instant::now() }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let mut r = lock();
+        *r.counters.entry(format!("span.{}.calls", self.name)).or_insert(0) += 1;
+        *r.volatiles.entry(format!("span.{}.wall_ms", self.name)).or_insert(0.0) += ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = isolation_lock();
+        reset();
+        add("a", 2);
+        add("a", 3);
+        add_many(&[("a", 1), ("b", 4), ("zero", 0)]);
+        assert_eq!(counter("a"), 6);
+        assert_eq!(counter("b"), 4);
+        assert_eq!(counter("missing"), 0);
+        assert!(!counters().contains_key("zero"), "zero adds do not create counters");
+        reset();
+        assert!(counters().is_empty());
+    }
+
+    #[test]
+    fn spans_record_calls_and_wall_time() {
+        let _g = isolation_lock();
+        reset();
+        {
+            let _s = span("stage");
+            let _inner = span("stage.inner");
+        }
+        assert_eq!(counter("span.stage.calls"), 1);
+        assert_eq!(counter("span.stage.inner.calls"), 1);
+        let v = volatiles();
+        assert!(v.contains_key("span.stage.wall_ms"));
+        assert!(*v.get("span.stage.wall_ms").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn volatile_set_overwrites() {
+        let _g = isolation_lock();
+        reset();
+        volatile_add("t", 1.5);
+        volatile_add("t", 1.5);
+        assert_eq!(volatiles().get("t"), Some(&3.0));
+        volatile_set("t", 7.0);
+        assert_eq!(volatiles().get("t"), Some(&7.0));
+    }
+}

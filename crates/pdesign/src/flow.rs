@@ -52,6 +52,15 @@ pub fn physical_design_in(
     previous: Option<&Placement>,
     seed: u64,
 ) -> Result<PhysicalDesign, PlaceError> {
+    let _span = rsyn_observe::span("pdesign");
+    rsyn_observe::add_many(&[
+        ("pdesign.runs", 1),
+        if previous.is_some() {
+            ("pdesign.placements.incremental", 1)
+        } else {
+            ("pdesign.placements.global", 1)
+        },
+    ]);
     let placement = match previous {
         Some(prev) => {
             let mut p = prev.clone();

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repository verification gate: formatting, lints, build, and the tier-1
-# test suite. Run from anywhere; everything is offline.
+# Repository verification gate: formatting, lints, docs, build, the tier-1
+# test suite, and the observability smoke gate (manifest determinism +
+# baseline diff). Run from anywhere; everything is offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,10 +11,30 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (workspace, no deps, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "== cargo test -q (tier-1)"
 cargo test -q
+
+echo "== manifest smoke gate (smallest benchmark, threads 1 vs 4)"
+# Run the smallest Table I benchmark at two worker counts; the stable part
+# of the manifests must be byte-identical, and the single-thread manifest
+# must match the checked-in baseline exactly (counters and results).
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CHECK=target/release/check_manifest
+
+RSYN_MANIFEST_DIR="$SMOKE_DIR/t1" target/release/table1 --threads 1 sparc_tlu >/dev/null
+RSYN_MANIFEST_DIR="$SMOKE_DIR/t4" target/release/table1 --threads 4 sparc_tlu >/dev/null
+"$CHECK" --determinism "$SMOKE_DIR/t1/manifest-table1.json" "$SMOKE_DIR/t4/manifest-table1.json"
+"$CHECK" --no-timings results/baselines/manifest-table1.json "$SMOKE_DIR/t1/manifest-table1.json"
+
+RSYN_MANIFEST_DIR="$SMOKE_DIR/gs" target/release/guideline_stats sparc_tlu >/dev/null
+"$CHECK" --no-timings results/baselines/manifest-guideline_stats.json \
+  "$SMOKE_DIR/gs/manifest-guideline_stats.json"
 
 echo "verify: OK"

@@ -15,7 +15,8 @@
 //! * [`pdesign`] — floorplan, placement, routing, timing and power;
 //! * [`circuits`] — the benchmark circuit generators;
 //! * [`cluster`] — structural clustering of undetectable faults;
-//! * [`core`] — the paper's two-phase resynthesis procedure.
+//! * [`core`] — the paper's two-phase resynthesis procedure;
+//! * [`observe`] — stage spans, deterministic counters, run manifests.
 
 pub use rsyn_atpg as atpg;
 pub use rsyn_circuits as circuits;
@@ -24,4 +25,5 @@ pub use rsyn_core as core;
 pub use rsyn_dfm as dfm;
 pub use rsyn_logic as logic;
 pub use rsyn_netlist as netlist;
+pub use rsyn_observe as observe;
 pub use rsyn_pdesign as pdesign;
