@@ -12,13 +12,31 @@
 //! order and compacted globally. Because no state flows between shards and
 //! the merge order is fixed, [`run_atpg`] returns bit-identical results
 //! for every `threads` setting, including 1.
+//!
+//! # Resilience
+//!
+//! Two recovery mechanisms keep transient failures from puncturing the
+//! result, both operating *inside* the owning shard so verdicts and
+//! retry counts stay thread-count independent:
+//!
+//! * **Abort escalation** — a fault whose PODEM search hits the backtrack
+//!   limit is retried with a geometrically escalated limit
+//!   ([`AtpgOptions::escalation`], default 256→1024→4096) before being
+//!   reported `Aborted`; rescues land in `atpg.abort_rescued`.
+//! * **Shard retry** — a shard whose pipeline panics (or is failed by the
+//!   `rsyn-resilience` injection harness) is re-executed once; a second
+//!   failure degrades the shard to all-`Aborted` statuses instead of
+//!   crashing the run.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rsyn_netlist::{CombView, Netlist};
+use rsyn_resilience::inject;
+use rsyn_resilience::EscalationPolicy;
 
 use crate::fault::{Fault, FaultKind, FaultStatus};
 use crate::podem::{Podem, PodemOutcome, Target};
@@ -40,11 +58,22 @@ pub struct AtpgOptions {
     /// [`std::thread::available_parallelism`]. Results are identical for
     /// every value (see the module docs).
     pub threads: usize,
+    /// Retry policy for aborted PODEM searches: each retry multiplies the
+    /// backtrack limit until the cap. [`EscalationPolicy::disabled`]
+    /// restores the historical drop-on-abort behaviour.
+    pub escalation: EscalationPolicy,
 }
 
 impl Default for AtpgOptions {
     fn default() -> Self {
-        Self { random_words: 8, backtrack_limit: 256, seed: 0xDA7E, compact: true, threads: 0 }
+        Self {
+            random_words: 8,
+            backtrack_limit: 256,
+            seed: 0xDA7E,
+            compact: true,
+            threads: 0,
+            escalation: EscalationPolicy::default(),
+        }
     }
 }
 
@@ -211,18 +240,19 @@ pub fn run_atpg(
     options: &AtpgOptions,
 ) -> AtpgResult {
     let _span = rsyn_observe::span("atpg.run");
+    let run_ordinal = inject::next_atpg_run();
     let spans = shard_spans(faults.len());
     let mut parts: Vec<Option<ShardPart>> = Vec::new();
     let workers = options.effective_threads().min(spans.len()).max(1);
     if workers <= 1 {
         let t0 = std::time::Instant::now();
         for (i, span) in spans.iter().enumerate() {
-            parts.push(Some(run_shard(
+            parts.push(Some(run_shard_resilient(
                 nl,
                 view,
                 &faults[span.clone()],
                 options,
-                shard_seed(options.seed, i as u64),
+                ShardIdentity { index: i, base_fault: span.start, run_ordinal },
             )));
         }
         rsyn_observe::volatile_add("atpg.worker0.shards", spans.len() as f64);
@@ -241,12 +271,12 @@ pub fn run_atpg(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(span) = spans.get(i) else { break };
-                        let part = run_shard(
+                        let part = run_shard_resilient(
                             nl,
                             view,
                             &faults[span.clone()],
                             options,
-                            shard_seed(options.seed, i as u64),
+                            ShardIdentity { index: i, base_fault: span.start, run_ordinal },
                         );
                         *slots[i].lock().expect("shard slot") = Some(part);
                         processed += 1;
@@ -291,14 +321,136 @@ pub fn run_atpg(
     AtpgResult { statuses, tests }
 }
 
+/// Deterministic coordinates of a shard within its ATPG run — the keys
+/// failure injection and abort escalation are addressed by.
+#[derive(Clone, Copy)]
+struct ShardIdentity {
+    /// Shard index within the run's deterministic split.
+    index: usize,
+    /// Global index of the shard's first fault.
+    base_fault: usize,
+    /// Serial ordinal of the owning `run_atpg` call (0 when injection is
+    /// disarmed).
+    run_ordinal: u64,
+}
+
+/// Runs one shard with panic containment: a shard that panics (or is
+/// failed by the injection harness) is retried once; a second failure
+/// degrades to all-`Aborted` statuses so the run completes and the hole
+/// stays visible in the `aborted` accounting.
+fn run_shard_resilient(
+    nl: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    options: &AtpgOptions,
+    id: ShardIdentity,
+) -> ShardPart {
+    for attempt in 0..2 {
+        let injected = attempt == 0 && inject::should_fail_shard(id.run_ordinal, id.index as u64);
+        if !injected {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_shard(nl, view, faults, options, id)
+            }));
+            match outcome {
+                Ok(part) => return part,
+                Err(_) if attempt == 0 => {}
+                Err(_) => {
+                    rsyn_observe::add("atpg.shard_failed", 1);
+                    return ShardPart {
+                        statuses: vec![FaultStatus::Aborted; faults.len()],
+                        tests: TestSet::new(),
+                    };
+                }
+            }
+        }
+        rsyn_observe::add("atpg.shard_retries", 1);
+    }
+    unreachable!("the second attempt either returns or degrades");
+}
+
+/// One fault's complete PODEM evaluation: every target is tried, confirmed
+/// detections push their patterns into `tests`/`drop_buffer`. Returns
+/// `(detected, any_aborted)`; neither flag set means every target search
+/// completed, i.e. the fault is proven undetectable.
+#[allow(clippy::too_many_arguments)]
+fn attempt_fault(
+    podem: &mut Podem<'_>,
+    sim: &mut FaultSim<'_>,
+    tests: &mut TestSet,
+    drop_buffer: &mut Vec<Pattern>,
+    fault: &Fault,
+    npis: usize,
+) -> (bool, bool) {
+    // Every PODEM detection is confirmed against the independent fault
+    // simulator before it is trusted (standard pattern-verification). A
+    // detection the simulator cannot confirm — possible only for faults
+    // whose behaviour falls outside the combinational single-fault
+    // semantics, such as feedback bridges — is reported as aborted, never
+    // as undetectable.
+    let confirm = |sim: &mut FaultSim<'_>, fault: &Fault, pair: &[&Pattern]| -> bool {
+        let mut lanes = vec![0u64; npis];
+        for (k, p) in pair.iter().enumerate() {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if p.get(i) {
+                    *lane |= 1 << k;
+                }
+            }
+        }
+        sim.set_patterns(&lanes);
+        let det = sim.detect_lanes(fault);
+        det & ((1 << pair.len()) - 1) != 0
+    };
+    let mut any_aborted = false;
+    let mut detected = false;
+    for target in targets_of(fault) {
+        match podem.run(&target) {
+            PodemOutcome::Detected(p) => {
+                // Transition faults need a preceding initialisation
+                // pattern; justify it (completeness: if initialisation
+                // is impossible the fault is undetectable).
+                if let FaultKind::Transition { net, rising } = fault.kind {
+                    match podem.run(&Target::Justify { net, value: !rising }) {
+                        PodemOutcome::Detected(init) => {
+                            if confirm(sim, fault, &[&init, &p]) {
+                                drop_buffer.push(init.clone());
+                                drop_buffer.push(p.clone());
+                                tests.push(init);
+                                tests.push(p);
+                                detected = true;
+                            } else {
+                                any_aborted = true;
+                            }
+                        }
+                        PodemOutcome::Undetectable => {}
+                        PodemOutcome::Aborted => any_aborted = true,
+                    }
+                } else if confirm(sim, fault, &[&p]) {
+                    drop_buffer.push(p.clone());
+                    tests.push(p);
+                    detected = true;
+                } else {
+                    any_aborted = true;
+                }
+                if detected {
+                    break;
+                }
+            }
+            PodemOutcome::Undetectable => {}
+            PodemOutcome::Aborted => any_aborted = true,
+        }
+    }
+    (detected, any_aborted)
+}
+
 /// The serial random + PODEM pipeline over one shard of the fault list.
 fn run_shard(
     nl: &Netlist,
     view: &CombView,
     faults: &[Fault],
     options: &AtpgOptions,
-    seed: u64,
+    id: ShardIdentity,
 ) -> ShardPart {
+    let seed = shard_seed(options.seed, id.index as u64);
     let mut statuses = vec![FaultStatus::Undetected; faults.len()];
     let mut tests = TestSet::new();
     let mut sim = FaultSim::new(nl, view);
@@ -341,71 +493,49 @@ fn run_shard(
     let random_detected = statuses.iter().filter(|s| **s == FaultStatus::Detected).count() as u64;
 
     // --- deterministic phase -----------------------------------------------------
-    // Every PODEM detection is confirmed against the independent fault
-    // simulator before it is trusted (standard pattern-verification). A
-    // detection the simulator cannot confirm — possible only for faults
-    // whose behaviour falls outside the combinational single-fault
-    // semantics, such as feedback bridges — is reported as aborted, never
-    // as undetectable.
     let mut podem = Podem::new(nl, view, options.backtrack_limit);
     let mut drop_buffer: Vec<Pattern> = Vec::new();
-    let confirm = |sim: &mut FaultSim<'_>, fault: &Fault, pair: &[&Pattern]| -> bool {
-        let mut lanes = vec![0u64; npis];
-        for (k, p) in pair.iter().enumerate() {
-            for (i, lane) in lanes.iter_mut().enumerate() {
-                if p.get(i) {
-                    *lane |= 1 << k;
-                }
-            }
-        }
-        sim.set_patterns(&lanes);
-        let det = sim.detect_lanes(fault);
-        det & ((1 << pair.len()) - 1) != 0
-    };
+    let escalated =
+        options.escalation.limits(options.backtrack_limit.min(u32::MAX as usize) as u32);
+    let mut escalation_backtracks = 0u64;
+    let mut abort_retries = 0u64;
+    let mut abort_rescued = 0u64;
     for fi in 0..faults.len() {
         if statuses[fi] != FaultStatus::Undetected {
             continue;
         }
         let fault = &faults[fi];
-        let mut any_aborted = false;
-        let mut detected = false;
-        for target in targets_of(fault) {
-            match podem.run(&target) {
-                PodemOutcome::Detected(p) => {
-                    // Transition faults need a preceding initialisation
-                    // pattern; justify it (completeness: if initialisation
-                    // is impossible the fault is undetectable).
-                    if let FaultKind::Transition { net, rising } = fault.kind {
-                        match podem.run(&Target::Justify { net, value: !rising }) {
-                            PodemOutcome::Detected(init) => {
-                                if confirm(&mut sim, fault, &[&init, &p]) {
-                                    drop_buffer.push(init.clone());
-                                    drop_buffer.push(p.clone());
-                                    tests.push(init);
-                                    tests.push(p);
-                                    detected = true;
-                                } else {
-                                    any_aborted = true;
-                                }
-                            }
-                            PodemOutcome::Undetectable => {}
-                            PodemOutcome::Aborted => any_aborted = true,
-                        }
-                    } else if confirm(&mut sim, fault, &[&p]) {
-                        drop_buffer.push(p.clone());
-                        tests.push(p);
-                        detected = true;
-                    } else {
-                        any_aborted = true;
-                    }
-                    if detected {
-                        break;
-                    }
+        // An injected abort skips the base attempt entirely; the
+        // escalation rounds below then rescue the fault, exercising the
+        // same path a genuine backtrack-limit hit takes.
+        let injected = inject::should_abort_podem(id.run_ordinal, (id.base_fault + fi) as u64);
+        let (mut detected, mut any_aborted) = if injected {
+            (false, true)
+        } else {
+            attempt_fault(&mut podem, &mut sim, &mut tests, &mut drop_buffer, fault, npis)
+        };
+
+        // Abort escalation: retry the whole fault with geometrically
+        // larger backtrack limits before giving up. Runs inside the shard,
+        // so retry counts and verdicts are thread-count independent.
+        if !detected && any_aborted {
+            for &limit in &escalated {
+                abort_retries += 1;
+                let mut esc = Podem::new(nl, view, limit as usize);
+                let (d, a) =
+                    attempt_fault(&mut esc, &mut sim, &mut tests, &mut drop_buffer, fault, npis);
+                escalation_backtracks += esc.backtracks();
+                if d || !a {
+                    // Rescued: detected, or the search completed and the
+                    // fault is proven undetectable.
+                    detected = d;
+                    any_aborted = false;
+                    abort_rescued += 1;
+                    break;
                 }
-                PodemOutcome::Undetectable => {}
-                PodemOutcome::Aborted => any_aborted = true,
             }
         }
+
         statuses[fi] = if detected {
             FaultStatus::Detected
         } else if any_aborted {
@@ -432,7 +562,9 @@ fn run_shard(
         ("atpg.shards", 1),
         ("atpg.faults", faults.len() as u64),
         ("atpg.random.detected", random_detected),
-        ("atpg.podem.backtracks", podem.backtracks()),
+        ("atpg.podem.backtracks", podem.backtracks() + escalation_backtracks),
+        ("atpg.abort_retries", abort_retries),
+        ("atpg.abort_rescued", abort_rescued),
         ("atpg.detected", count(FaultStatus::Detected)),
         ("atpg.undetectable", count(FaultStatus::Undetectable)),
         ("atpg.aborted", count(FaultStatus::Aborted)),
@@ -767,6 +899,76 @@ mod tests {
                 assert!(covered[fi], "fault {fi} uncovered after sharded run");
             }
         }
+    }
+
+    #[test]
+    fn injected_podem_abort_is_rescued_by_escalation() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = all_stuck_at(&nl);
+        // Skip the random phase so every fault reaches PODEM and the
+        // injected abort sites are actually consulted.
+        let options = AtpgOptions { random_words: 0, ..AtpgOptions::default() };
+        let reference = run_atpg(&nl, &view, &faults, &options);
+
+        let _obs = rsyn_observe::isolation_lock();
+        rsyn_observe::reset();
+        let plan = inject::InjectionPlan::new().abort_podem(0, 3).abort_podem(0, 11);
+        let armed = inject::arm(plan);
+        let r = run_atpg(&nl, &view, &faults, &options);
+        drop(armed);
+        // The escalation retry re-runs the aborted faults and rescues them:
+        // the result matches the uninjected run exactly.
+        assert_eq!(r.statuses, reference.statuses);
+        assert!(rsyn_observe::counter("atpg.abort_retries") >= 2);
+        assert!(rsyn_observe::counter("atpg.abort_rescued") >= 2);
+        assert_eq!(rsyn_observe::counter("inject.fired.podem_abort"), 2);
+    }
+
+    #[test]
+    fn disabled_escalation_reports_aborts() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let faults = all_stuck_at(&nl);
+        let options = AtpgOptions {
+            escalation: EscalationPolicy::disabled(),
+            random_words: 0,
+            ..AtpgOptions::default()
+        };
+
+        let _obs = rsyn_observe::isolation_lock();
+        rsyn_observe::reset();
+        let armed = inject::arm(inject::InjectionPlan::new().abort_podem(0, 5));
+        let r = run_atpg(&nl, &view, &faults, &options);
+        drop(armed);
+        assert_eq!(r.statuses[5], FaultStatus::Aborted, "no retry without escalation");
+        assert_eq!(r.aborted_count(), 1);
+        assert_eq!(rsyn_observe::counter("atpg.abort_retries"), 0);
+        assert_eq!(rsyn_observe::counter("atpg.aborted"), 1);
+    }
+
+    #[test]
+    fn injected_shard_failure_is_retried_transparently() {
+        let nl = build_circuit();
+        let view = nl.comb_view().unwrap();
+        let base = all_stuck_at(&nl);
+        let mut faults = Vec::new();
+        for _ in 0..4 {
+            faults.extend(base.iter().cloned());
+        }
+        assert!(shard_spans(faults.len()).len() > 1, "test needs multiple shards");
+        let reference = run_atpg(&nl, &view, &faults, &AtpgOptions::default().with_threads(2));
+
+        let _obs = rsyn_observe::isolation_lock();
+        rsyn_observe::reset();
+        let armed = inject::arm(inject::InjectionPlan::new().fail_shard(0, 1));
+        let r = run_atpg(&nl, &view, &faults, &AtpgOptions::default().with_threads(2));
+        drop(armed);
+        assert_eq!(r.statuses, reference.statuses, "retry must reproduce the shard exactly");
+        assert_eq!(r.tests.patterns(), reference.tests.patterns());
+        assert_eq!(rsyn_observe::counter("atpg.shard_retries"), 1);
+        assert_eq!(rsyn_observe::counter("atpg.shard_failed"), 0);
+        assert_eq!(rsyn_observe::counter("inject.fired.shard"), 1);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! * **Determinism**: `check_manifest --determinism <a> <b>` asserts the
 //!   *stable* serialisations of two manifests are byte-identical — the
 //!   thread-count-independence gate (same run at `--threads 1` vs `N`).
+//!   When both files are flow *checkpoints* (`"kind": "checkpoint"`, see
+//!   `rsyn_resilience::Checkpoint`) the raw bytes are compared instead:
+//!   checkpoints carry no volatile section, so a resumed run must
+//!   re-produce them exactly.
 //!
 //! Exit status: 0 on pass; 1 with one line per mismatch on stderr on fail;
 //! 2 on usage or I/O errors.
@@ -18,6 +22,12 @@
 use std::process::ExitCode;
 
 use rsyn_observe::manifest::{diff, DiffConfig, Manifest};
+use rsyn_resilience::Checkpoint;
+
+/// True when the file at `path` parses as a flow checkpoint.
+fn is_checkpoint(src: &str, path: &str) -> bool {
+    Checkpoint::parse(src, path).is_ok()
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -55,6 +65,28 @@ fn main() -> ExitCode {
     let [a, b] = args.as_slice() else {
         return usage();
     };
+
+    if determinism {
+        // Checkpoints have no volatile section, so their determinism gate
+        // is raw byte equality rather than the stable-manifest projection.
+        let (raw_a, raw_b) = match (std::fs::read_to_string(a), std::fs::read_to_string(b)) {
+            (Ok(l), Ok(r)) => (l, r),
+            (l, r) => {
+                for e in [l.err(), r.err()].into_iter().flatten() {
+                    eprintln!("error: {e}");
+                }
+                return ExitCode::from(2);
+            }
+        };
+        if is_checkpoint(&raw_a, a) && is_checkpoint(&raw_b, b) {
+            if raw_a == raw_b {
+                println!("determinism ok: checkpoints {a} and {b} are byte-identical");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("determinism FAILED: checkpoints {a} and {b} differ");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let (left, right) = match (Manifest::read(a), Manifest::read(b)) {
         (Ok(l), Ok(r)) => (l, r),

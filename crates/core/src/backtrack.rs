@@ -19,6 +19,10 @@ use crate::resynth::evaluate_candidate;
 /// Runs the backtracking procedure. `banned` is the prefix
 /// `cell_0..=cell_i` of the internal-fault cell order; `allowed` the
 /// remaining cells.
+///
+/// On success, returns the accepted state **and the shrunken window** that
+/// produced it — the replay information checkpoint/resume needs to rebuild
+/// the same netlist deterministically.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn backtrack(
     ctx: &FlowContext,
@@ -30,7 +34,7 @@ pub(crate) fn backtrack(
     accept: &(dyn Fn(&DesignState) -> bool + '_),
     map_options: &MapOptions,
     evaluations: &mut usize,
-) -> Option<DesignState> {
+) -> Option<(DesignState, Vec<GateId>)> {
     rsyn_observe::add("resynth.backtrack.calls", 1);
     // G_i: window gates of banned cell types, ordered so that the most
     // timing-critical gates are *removed first* (moved to G_back): the
@@ -61,9 +65,12 @@ pub(crate) fn backtrack(
     let groups = n.div_ceil(step);
 
     // Evaluate with the last `k` groups of G_i spared (moved to G_back).
+    // Every such evaluation replaces a strictly smaller gate set than the
+    // failed full window — `resynth.backtrack_shrinks` counts exactly these
+    // Section III-C shrink attempts.
     let mut cache: Vec<Option<Option<DesignState>>> = vec![None; groups + 1];
     let eval_k = |k: usize, evaluations: &mut usize| -> Option<DesignState> {
-        rsyn_observe::add("resynth.backtrack.evals", 1);
+        rsyn_observe::add_many(&[("resynth.backtrack.evals", 1), ("resynth.backtrack_shrinks", 1)]);
         let spared = (k * step).min(n);
         let win: Vec<GateId> = g_i[..n - spared].to_vec();
         evaluate_candidate(ctx, state, &win, allowed, map_options, evaluations)
@@ -116,19 +123,23 @@ pub(crate) fn backtrack(
     let (k, cand) = best?;
     if accept(&cand) {
         rsyn_observe::add("resynth.backtrack.accepted", 1);
-        return Some(cand);
+        let spared = (k * step).min(n);
+        return Some((cand, g_i[..n - spared].to_vec()));
     }
     // Constraints recovered but the shrunken replacement no longer meets the
     // acceptance criteria: return the last group's gates to G_i one at a
     // time (Section III-C), i.e. reduce the spared count step-wise.
     let spared = (k * step).min(n);
     for spared2 in (spared.saturating_sub(step)..spared).rev() {
-        rsyn_observe::add("resynth.backtrack.group_shrinks", 1);
+        rsyn_observe::add_many(&[
+            ("resynth.backtrack.group_shrinks", 1),
+            ("resynth.backtrack_shrinks", 1),
+        ]);
         let win: Vec<GateId> = g_i[..n - spared2].to_vec();
         if let Some(c2) = evaluate_candidate(ctx, state, &win, allowed, map_options, evaluations) {
             if accept(&c2) && constraints.satisfied_by(&c2) {
                 rsyn_observe::add("resynth.backtrack.accepted", 1);
-                return Some(c2);
+                return Some((c2, win));
             }
         }
     }
@@ -194,7 +205,7 @@ mod tests {
             q_percent: 100.0,
         };
         let mut evals = 0;
-        if let Some(s) = backtrack(
+        if let Some((s, _win)) = backtrack(
             &ctx,
             &original,
             &window,

@@ -35,13 +35,20 @@
 //! # }
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod backtrack;
 pub mod constraints;
 pub mod flow;
 pub mod report;
 pub mod resynth;
+pub mod run;
 
 pub use constraints::DesignConstraints;
 pub use flow::{DesignState, FlowContext};
 pub use report::{Table1Row, Table2Row};
-pub use resynth::{resynthesize, run_q_sweep, QSweepOutcome, ResynthOptions, ResynthOutcome};
+pub use resynth::{
+    resynthesize, resynthesize_from, run_q_sweep, AcceptedRemap, QSweepOutcome, ResynthCursor,
+    ResynthOptions, ResynthOutcome,
+};
+pub use run::{run, run_resumed, FlowOptions, FlowReport};

@@ -60,6 +60,46 @@ pub enum Phase {
     Two,
 }
 
+/// Replay information for one accepted iteration: re-applying
+/// `window`/`allowed`/`map_options` to the pre-iteration netlist rebuilds
+/// the accepted netlist (and its gate/net ids) deterministically — the
+/// record checkpoint/resume serialises.
+#[derive(Clone, Debug)]
+pub struct AcceptedRemap {
+    /// Phase the iteration was accepted in.
+    pub phase: Phase,
+    /// The gates the winning candidate actually replaced (after any
+    /// Section III-C shrinking).
+    pub window: Vec<GateId>,
+    /// The library cells the mapper was allowed to use.
+    pub allowed: Vec<CellId>,
+    /// The mapping cost blend the winning candidate used.
+    pub map_options: MapOptions,
+}
+
+/// Position in the two-phase loop — where a resumed run continues.
+#[derive(Clone, Copy, Debug)]
+pub struct ResynthCursor {
+    /// Phase to (re)enter.
+    pub phase: Phase,
+    /// Accepted iterations already performed in that phase.
+    pub iter_in_phase: usize,
+    /// Phase 2's cluster-size bound `p2`, fixed at phase entry; `None`
+    /// while still in phase 1 (it will be computed on entry).
+    pub p2: Option<f64>,
+}
+
+impl ResynthCursor {
+    /// The cursor of a fresh (non-resumed) run.
+    pub fn start() -> Self {
+        Self { phase: Phase::One, iter_in_phase: 0, p2: None }
+    }
+}
+
+/// Callback invoked after every accepted iteration with the accepted
+/// state, its replay record, and the cursor of the *next* iteration.
+pub type OnAccept<'a> = dyn FnMut(&DesignState, &AcceptedRemap, &ResynthCursor) + 'a;
+
 /// Trace of one accepted (or terminal) iteration, for the Fig. 2 series.
 #[derive(Clone, Debug)]
 pub struct IterationTrace {
@@ -186,10 +226,11 @@ fn try_cells(
     constraints: &DesignConstraints,
     accept: &Accept<'_>,
     options: &ResynthOptions,
+    phase: Phase,
     evaluations: &mut usize,
     used_backtracking: &mut bool,
     banned_through: &mut Option<String>,
-) -> Option<DesignState> {
+) -> Option<(DesignState, AcceptedRemap)> {
     let order = ctx.catalog.cells_by_internal_faults(&ctx.lib);
     let window_cells: Vec<CellId> =
         window.iter().map(|&g| state.nl.gate(g).expect("live").cell).collect();
@@ -249,7 +290,13 @@ fn try_cells(
             if constraints.satisfied_by(&cand) {
                 *banned_through = Some(ctx.lib.cell(cell_i).name.clone());
                 accepted_iteration(i);
-                return Some(cand);
+                let remap = AcceptedRemap {
+                    phase,
+                    window: window_i,
+                    allowed,
+                    map_options: options.map_options,
+                };
+                return Some((cand, remap));
             }
             if fallback.is_none() {
                 fallback = Some((i, window_i, allowed));
@@ -275,11 +322,17 @@ fn try_cells(
         if accept(&cand2) && constraints.satisfied_by(&cand2) {
             *banned_through = Some(ctx.lib.cell(cell_i).name.clone());
             accepted_iteration(i);
-            return Some(cand2);
+            let remap = AcceptedRemap {
+                phase,
+                window: window_i,
+                allowed,
+                map_options: MapOptions::delay(),
+            };
+            return Some((cand2, remap));
         }
     }
     if options.backtracking {
-        if let Some(bt) = backtrack(
+        if let Some((bt, win)) = backtrack(
             ctx,
             state,
             &window_i,
@@ -293,7 +346,9 @@ fn try_cells(
             *banned_through = Some(ctx.lib.cell(cell_i).name.clone());
             *used_backtracking = true;
             accepted_iteration(i);
-            return Some(bt);
+            let remap =
+                AcceptedRemap { phase, window: win, allowed, map_options: options.map_options };
+            return Some((bt, remap));
         }
     }
     None
@@ -327,52 +382,91 @@ pub fn resynthesize(
     constraints: &DesignConstraints,
     options: &ResynthOptions,
 ) -> ResynthOutcome {
+    resynthesize_from(
+        original,
+        ctx,
+        constraints,
+        options,
+        ResynthCursor::start(),
+        &mut |_, _, _| {},
+    )
+}
+
+/// [`resynthesize`] with an explicit starting cursor and an accepted-
+/// iteration callback — the engine behind checkpoint/resume.
+///
+/// With [`ResynthCursor::start`] and a no-op callback this is exactly
+/// [`resynthesize`]. A resumed run passes the cursor recorded in its
+/// checkpoint (and the *replayed* state): phase 1 is skipped when the
+/// cursor is already in phase 2, remaining iteration budgets shrink by the
+/// iterations already performed, and phase 2 reuses the recorded `p2`
+/// instead of recomputing it.
+pub fn resynthesize_from(
+    start_state: &DesignState,
+    ctx: &FlowContext,
+    constraints: &DesignConstraints,
+    options: &ResynthOptions,
+    cursor: ResynthCursor,
+    on_accept: &mut OnAccept<'_>,
+) -> ResynthOutcome {
     let _span = rsyn_observe::span("resynth");
-    let mut state = original.clone();
+    let mut state = start_state.clone();
     let mut trace = Vec::new();
     let mut evaluations = 0usize;
 
     // --- phase 1: break up the largest clusters ---------------------------
-    for _ in 0..options.max_iterations {
-        let s_pct = state.s_max_percent_of_f();
-        if s_pct <= options.p1_percent || state.s_max_size() == 0 {
-            break;
-        }
-        let c_sub = state.g_max();
-        let window = state.gates_with_undetectable_internal(&c_sub);
-        if window.is_empty() {
-            break;
-        }
-        let old = state.clone();
-        let accept = |cand: &DesignState| {
-            cand.s_max_size() < old.s_max_size()
-                && cand.undetectable_count() <= old.undetectable_count()
-        };
-        let mut bt = false;
-        let mut banned = None;
-        match try_cells(
-            ctx,
-            &state,
-            &window,
-            constraints,
-            &accept,
-            options,
-            &mut evaluations,
-            &mut bt,
-            &mut banned,
-        ) {
-            Some(next) => {
-                state = next;
-                rsyn_observe::add("resynth.phase1.iterations", 1);
-                trace.push(trace_of(&state, Phase::One, banned, bt));
+    if cursor.phase == Phase::One {
+        let mut iter = cursor.iter_in_phase;
+        while iter < options.max_iterations {
+            let s_pct = state.s_max_percent_of_f();
+            if s_pct <= options.p1_percent || state.s_max_size() == 0 {
+                break;
             }
-            None => break,
+            let c_sub = state.g_max();
+            let window = state.gates_with_undetectable_internal(&c_sub);
+            if window.is_empty() {
+                break;
+            }
+            let old = state.clone();
+            let accept = |cand: &DesignState| {
+                cand.s_max_size() < old.s_max_size()
+                    && cand.undetectable_count() <= old.undetectable_count()
+            };
+            let mut bt = false;
+            let mut banned = None;
+            match try_cells(
+                ctx,
+                &state,
+                &window,
+                constraints,
+                &accept,
+                options,
+                Phase::One,
+                &mut evaluations,
+                &mut bt,
+                &mut banned,
+            ) {
+                Some((next, remap)) => {
+                    state = next;
+                    iter += 1;
+                    rsyn_observe::add("resynth.phase1.iterations", 1);
+                    trace.push(trace_of(&state, Phase::One, banned, bt));
+                    let next_cursor =
+                        ResynthCursor { phase: Phase::One, iter_in_phase: iter, p2: None };
+                    on_accept(&state, &remap, &next_cursor);
+                }
+                None => break,
+            }
         }
     }
 
     // --- phase 2: reduce U across the whole circuit -----------------------
-    let p2 = options.p1_percent.max(state.s_max_percent_of_f());
-    for _ in 0..options.max_iterations {
+    let p2 = match (cursor.phase, cursor.p2) {
+        (Phase::Two, Some(p2)) => p2,
+        _ => options.p1_percent.max(state.s_max_percent_of_f()),
+    };
+    let mut iter = if cursor.phase == Phase::Two { cursor.iter_in_phase } else { 0 };
+    while iter < options.max_iterations {
         if state.undetectable_count() == 0 {
             break;
         }
@@ -395,14 +489,19 @@ pub fn resynthesize(
             constraints,
             &accept,
             options,
+            Phase::Two,
             &mut evaluations,
             &mut bt,
             &mut banned,
         ) {
-            Some(next) => {
+            Some((next, remap)) => {
                 state = next;
+                iter += 1;
                 rsyn_observe::add("resynth.phase2.iterations", 1);
                 trace.push(trace_of(&state, Phase::Two, banned, bt));
+                let next_cursor =
+                    ResynthCursor { phase: Phase::Two, iter_in_phase: iter, p2: Some(p2) };
+                on_accept(&state, &remap, &next_cursor);
             }
             None => break,
         }

@@ -9,8 +9,14 @@
 //!   defect extraction;
 //! * [`Netlist`] — an arena-based gate-level netlist with typed ids,
 //!   levelization, and a full-scan combinational view;
-//! * a structural Verilog-subset writer and parser ([`verilog`]);
+//! * a structural Verilog-subset writer and parser ([`verilog`]), and a
+//!   Liberty-subset writer and parser ([`liberty`]) — both report failures
+//!   as positioned [`NetlistError::Parse`] values (line, column, fragment)
+//!   instead of panicking;
 //! * 64-way parallel logic simulation ([`sim`]).
+//!
+//! Flow-reachable code paths in this crate are `unwrap`-free
+//! (`clippy::unwrap_used` is enforced outside tests).
 //!
 //! # Example
 //!
@@ -32,6 +38,8 @@
 //! # }
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod buffering;
 pub mod cell;
 pub mod ids;
@@ -46,6 +54,7 @@ pub mod verilog;
 
 pub use cell::{Cell, CellClass, CellOutput, SpNet, Transistor};
 pub use ids::{CellId, GateId, NetId};
+pub use liberty::{parse_liberty, write_liberty, LibertyCell, LibertyLibrary, LibertyPin};
 pub use library::Library;
 pub use netlist::{CombView, Driver, Gate, Net, Netlist};
 pub use stats::NetlistStats;

@@ -1,16 +1,23 @@
-//! Liberty (`.lib`) export of the standard-cell library.
+//! Liberty (`.lib`) export of the standard-cell library, and a parser for
+//! the emitted subset.
 //!
-//! Emits the industry-standard subset most tools read: cell area, pin
-//! directions and capacitances, boolean `function` attributes (Liberty
-//! syntax), linear timing coefficients, and leakage. This lets the built-in
-//! library be inspected with ordinary EDA tooling and documents the exact
-//! models the reproduction uses.
+//! [`write_liberty`] emits the industry-standard subset most tools read:
+//! cell area, pin directions and capacitances, boolean `function`
+//! attributes (Liberty syntax), linear timing coefficients, and leakage.
+//! This lets the built-in library be inspected with ordinary EDA tooling
+//! and documents the exact models the reproduction uses.
+//!
+//! [`parse_liberty`] reads that subset back into a structural summary with
+//! **positioned** errors ([`NetlistError::Parse`] carries line, column, and
+//! the offending fragment) — the flow's resilience layer surfaces these
+//! instead of panicking on malformed library text.
 
 use std::fmt::Write as _;
 
 use crate::cell::CellClass;
 use crate::library::Library;
 use crate::tt::TruthTable;
+use crate::validate::{column_of, parse_context, NetlistError};
 
 /// Renders the library in Liberty syntax.
 pub fn write_liberty(lib: &Library, name: &str) -> String {
@@ -81,6 +88,233 @@ pub fn liberty_function(tt: TruthTable, pins: &[String]) -> String {
     terms.join("+")
 }
 
+/// One pin of a [`LibertyCell`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LibertyPin {
+    /// Pin name.
+    pub name: String,
+    /// True for output pins.
+    pub is_output: bool,
+    /// Input capacitance in fF (inputs only).
+    pub capacitance: Option<f64>,
+    /// Boolean `function` expression (outputs only).
+    pub function: Option<String>,
+}
+
+/// One cell group parsed from Liberty text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LibertyCell {
+    /// Cell name.
+    pub name: String,
+    /// Cell area.
+    pub area: f64,
+    /// Leakage power.
+    pub leakage: f64,
+    /// Pins in declaration order.
+    pub pins: Vec<LibertyPin>,
+    /// True when the cell declared an `ff` group.
+    pub is_flop: bool,
+}
+
+/// The structural summary [`parse_liberty`] produces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LibertyLibrary {
+    /// Library name.
+    pub name: String,
+    /// Cells in declaration order.
+    pub cells: Vec<LibertyCell>,
+}
+
+impl LibertyLibrary {
+    /// Looks a cell up by name.
+    pub fn cell(&self, name: &str) -> Option<&LibertyCell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+}
+
+/// Which group the parser is currently inside.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Group {
+    Library,
+    Cell,
+    Pin,
+    Ff,
+}
+
+/// Parses the Liberty subset emitted by [`write_liberty`].
+///
+/// The parser is line-oriented (each group header, attribute, and closing
+/// brace sits on its own line, except the single-line `timing () { … }`
+/// group, which is skipped).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] — with the 1-based line/column and the
+/// offending fragment — on unbalanced braces, attributes outside a group,
+/// malformed attributes, or group headers the subset does not cover.
+pub fn parse_liberty(text: &str) -> Result<LibertyLibrary, NetlistError> {
+    let err = |line: usize, fragment: &str, message: String| NetlistError::Parse {
+        line,
+        col: column_of(text, line, fragment),
+        context: parse_context(fragment),
+        message,
+    };
+    let group_name = |line: usize, s: &str| -> Result<String, NetlistError> {
+        let open = s.find('(').ok_or_else(|| err(line, s, "missing `(` in group header".into()))?;
+        let close =
+            s.find(')').ok_or_else(|| err(line, s, "missing `)` in group header".into()))?;
+        if close < open {
+            return Err(err(line, s, "mismatched parentheses in group header".into()));
+        }
+        Ok(s[open + 1..close].trim().to_string())
+    };
+    let num = |line: usize, s: &str, value: &str| -> Result<f64, NetlistError> {
+        value.parse::<f64>().map_err(|_| err(line, s, format!("expected a number, got `{value}`")))
+    };
+
+    let mut lib: Option<LibertyLibrary> = None;
+    let mut stack: Vec<Group> = Vec::new();
+    let mut last_line = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        last_line = line;
+        let s = raw.trim();
+        if s.is_empty() || s.starts_with("/*") || s.starts_with("//") {
+            continue;
+        }
+        // Single-line groups like `timing () { … }` open and close here.
+        if s.contains('{') && s.ends_with('}') {
+            if s.matches('{').count() != s.matches('}').count() {
+                return Err(err(line, s, "unbalanced braces in single-line group".into()));
+            }
+            continue;
+        }
+        if let Some(header) = s.strip_suffix('{').map(str::trim) {
+            let top = stack.last().copied();
+            if header.starts_with("library") {
+                if lib.is_some() {
+                    return Err(err(line, s, "second `library` group".into()));
+                }
+                lib = Some(LibertyLibrary { name: group_name(line, header)?, cells: Vec::new() });
+                stack.push(Group::Library);
+            } else if header.starts_with("cell") {
+                if top != Some(Group::Library) {
+                    return Err(err(line, s, "`cell` group outside `library`".into()));
+                }
+                let cell = LibertyCell {
+                    name: group_name(line, header)?,
+                    area: 0.0,
+                    leakage: 0.0,
+                    pins: Vec::new(),
+                    is_flop: false,
+                };
+                if let Some(l) = lib.as_mut() {
+                    l.cells.push(cell);
+                }
+                stack.push(Group::Cell);
+            } else if header.starts_with("pin") {
+                if top != Some(Group::Cell) {
+                    return Err(err(line, s, "`pin` group outside `cell`".into()));
+                }
+                let pin = LibertyPin {
+                    name: group_name(line, header)?,
+                    is_output: false,
+                    capacitance: None,
+                    function: None,
+                };
+                if let Some(c) = current_cell(&mut lib) {
+                    c.pins.push(pin);
+                }
+                stack.push(Group::Pin);
+            } else if header.starts_with("ff") {
+                if top != Some(Group::Cell) {
+                    return Err(err(line, s, "`ff` group outside `cell`".into()));
+                }
+                if let Some(c) = current_cell(&mut lib) {
+                    c.is_flop = true;
+                }
+                stack.push(Group::Ff);
+            } else {
+                return Err(err(line, s, format!("unknown group `{header}`")));
+            }
+            continue;
+        }
+        if s == "}" {
+            if stack.pop().is_none() {
+                return Err(err(line, s, "unmatched `}`".into()));
+            }
+            continue;
+        }
+        // Attribute: `key : value ;`
+        let body = s
+            .strip_suffix(';')
+            .ok_or_else(|| err(line, s, "expected `;` after attribute".into()))?;
+        // Complex attributes — `capacitive_load_unit (1, ff);` — carry
+        // their value in parentheses; the summary does not model them.
+        if !body.contains(':') && body.trim_end().ends_with(')') && body.contains('(') {
+            if stack.is_empty() {
+                return Err(err(line, s, "attribute outside any group".into()));
+            }
+            continue;
+        }
+        let (key, value) = body
+            .split_once(':')
+            .ok_or_else(|| err(line, s, "expected `key : value` attribute".into()))?;
+        let (key, value) = (key.trim(), value.trim().trim_matches('"'));
+        match (stack.last().copied(), key) {
+            (None, _) => return Err(err(line, s, "attribute outside any group".into())),
+            (Some(Group::Cell), "area") => {
+                let v = num(line, s, value)?;
+                if let Some(c) = current_cell(&mut lib) {
+                    c.area = v;
+                }
+            }
+            (Some(Group::Cell), "cell_leakage_power") => {
+                let v = num(line, s, value)?;
+                if let Some(c) = current_cell(&mut lib) {
+                    c.leakage = v;
+                }
+            }
+            (Some(Group::Pin), "direction") => {
+                let is_output = match value {
+                    "output" => true,
+                    "input" => false,
+                    other => return Err(err(line, s, format!("unknown pin direction `{other}`"))),
+                };
+                if let Some(p) = current_pin(&mut lib) {
+                    p.is_output = is_output;
+                }
+            }
+            (Some(Group::Pin), "capacitance") => {
+                let v = num(line, s, value)?;
+                if let Some(p) = current_pin(&mut lib) {
+                    p.capacitance = Some(v);
+                }
+            }
+            (Some(Group::Pin), "function") => {
+                if let Some(p) = current_pin(&mut lib) {
+                    p.function = Some(value.to_string());
+                }
+            }
+            // Attributes the summary does not model (units, clock flags,
+            // ff next_state/clocked_on) are tolerated and skipped.
+            _ => {}
+        }
+    }
+    if let Some(top) = stack.last() {
+        return Err(err(last_line, "", format!("unclosed `{top:?}` group at end of input")));
+    }
+    lib.ok_or_else(|| err(1, "", "no `library` group found".into()))
+}
+
+fn current_cell(lib: &mut Option<LibertyLibrary>) -> Option<&mut LibertyCell> {
+    lib.as_mut().and_then(|l| l.cells.last_mut())
+}
+
+fn current_pin(lib: &mut Option<LibertyLibrary>) -> Option<&mut LibertyPin> {
+    current_cell(lib).and_then(|c| c.pins.last_mut())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +350,76 @@ mod tests {
         let open = text.matches('{').count();
         let close = text.matches('}').count();
         assert_eq!(open, close);
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let lib = Library::osu018();
+        let text = write_liberty(&lib, "osu018_rsyn");
+        let parsed = parse_liberty(&text).expect("own output parses");
+        assert_eq!(parsed.name, "osu018_rsyn");
+        assert_eq!(parsed.cells.len(), lib.len());
+        for (_, cell) in lib.iter() {
+            let p = parsed.cell(&cell.name).expect("cell present");
+            assert!((p.area - cell.area).abs() < 1e-3, "{}: area", cell.name);
+            assert_eq!(
+                p.pins.iter().filter(|pin| !pin.is_output).count(),
+                cell.inputs.len(),
+                "{}: input pins",
+                cell.name
+            );
+            assert_eq!(p.is_flop, cell.class == CellClass::Flop, "{}: flop flag", cell.name);
+            for pin in &p.pins {
+                if pin.is_output {
+                    assert!(pin.function.is_some(), "{}.{}: function", cell.name, pin.name);
+                } else {
+                    assert!(pin.capacitance.is_some(), "{}.{}: cap", cell.name, pin.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_col_and_context() {
+        // Unclosed cell group: points at the end of input.
+        let text = "library (l) {\n  cell (X) {\n    area : 1.0;\n";
+        let err = parse_liberty(text).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }), "{err}");
+
+        // Malformed attribute: the error names line 3 and shows the text.
+        let text = "library (l) {\n  cell (X) {\n    area 1.0\n  }\n}\n";
+        let NetlistError::Parse { line, col, context, message } = parse_liberty(text).unwrap_err()
+        else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(line, 3);
+        assert_eq!(col, 5, "column of `area` on its line");
+        assert!(context.contains("area 1.0"), "{context}");
+        assert!(message.contains(';'), "{message}");
+
+        // Attribute outside any group.
+        let err = parse_liberty("area : 1.0;\n").unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+
+        // Pin group at library level.
+        let text = "library (l) {\n  pin (A) {\n  }\n}\n";
+        let err = parse_liberty(text).unwrap_err();
+        assert!(err.to_string().contains("outside `cell`"), "{err}");
+
+        // Unmatched closing brace.
+        let err = parse_liberty("library (l) {\n}\n}\n").unwrap_err();
+        assert!(err.to_string().contains("unmatched"), "{err}");
+
+        // Bad number.
+        let text = "library (l) {\n  cell (X) {\n    area : lots;\n  }\n}\n";
+        let err = parse_liberty(text).unwrap_err();
+        assert!(err.to_string().contains("expected a number"), "{err}");
+    }
+
+    #[test]
+    fn single_line_timing_groups_are_skipped() {
+        let text = "library (l) {\n  cell (X) {\n    pin (Y) {\n      direction : output;\n      function : \"(A)\";\n      timing () { intrinsic_rise : 1.0; }\n    }\n  }\n}\n";
+        let parsed = parse_liberty(text).expect("parses");
+        assert_eq!(parsed.cells[0].pins[0].function.as_deref(), Some("(A)"));
     }
 }

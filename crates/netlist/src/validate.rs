@@ -41,10 +41,15 @@ pub enum NetlistError {
         /// The offending name.
         name: String,
     },
-    /// Verilog-subset parse failure.
+    /// Verilog-subset or Liberty-subset parse failure, with the position
+    /// and source fragment needed to act on it.
     Parse {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token (0 when unknown).
+        col: usize,
+        /// The offending source fragment, truncated.
+        context: String,
         /// Description of the problem.
         message: String,
     },
@@ -72,14 +77,49 @@ impl fmt::Display for NetlistError {
                 write!(f, "combinational loop involving {gates_in_loop} gates")
             }
             NetlistError::UnknownCell { name } => write!(f, "unknown cell {name}"),
-            NetlistError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            NetlistError::Parse { line, col, context, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")?;
+                if !context.is_empty() {
+                    write!(f, " (near `{context}`)")?;
+                }
+                Ok(())
             }
         }
     }
 }
 
 impl Error for NetlistError {}
+
+/// Truncates a source fragment for use as [`NetlistError::Parse`] context.
+pub(crate) fn parse_context(fragment: &str) -> String {
+    const MAX: usize = 48;
+    let t = fragment.trim();
+    if t.len() <= MAX {
+        t.to_string()
+    } else {
+        let mut end = MAX;
+        while !t.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &t[..end])
+    }
+}
+
+/// 1-based column where `fragment` starts on 1-based line `line` of `text`;
+/// falls back to the first non-blank column (or 1) when the fragment spans
+/// lines or was rewritten during statement joining.
+pub(crate) fn column_of(text: &str, line: usize, fragment: &str) -> usize {
+    let Some(raw) = text.lines().nth(line.saturating_sub(1)) else {
+        return 1;
+    };
+    let probe = fragment.split_whitespace().next().unwrap_or("");
+    if !probe.is_empty() {
+        if let Some(pos) = raw.find(probe) {
+            return pos + 1;
+        }
+    }
+    raw.find(|c: char| !c.is_whitespace()).map_or(1, |p| p + 1)
+}
 
 /// Checks structural invariants of a netlist:
 ///

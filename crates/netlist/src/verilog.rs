@@ -11,7 +11,7 @@ use std::sync::Arc;
 use crate::ids::NetId;
 use crate::library::Library;
 use crate::netlist::Netlist;
-use crate::validate::NetlistError;
+use crate::validate::{column_of, parse_context, NetlistError};
 
 /// Serialises a netlist as structural Verilog.
 pub fn write_verilog(nl: &Netlist) -> String {
@@ -101,24 +101,32 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
     if !acc.trim().is_empty() {
         return Err(NetlistError::Parse {
             line: acc_line,
+            col: 1,
+            context: parse_context(&acc),
             message: "unterminated statement".into(),
         });
     }
 
-    let err =
-        |line: usize, message: &str| NetlistError::Parse { line, message: message.to_string() };
+    // Statement-level errors point at the statement's first line; the
+    // column is where the statement text begins on that line.
+    let err = |line: usize, stmt: &str, message: &str| NetlistError::Parse {
+        line,
+        col: column_of(text, line, stmt),
+        context: parse_context(stmt),
+        message: message.to_string(),
+    };
 
     for (line, stmt) in statements {
         if let Some(rest) = stmt.strip_prefix("module") {
             let (name, _) =
-                rest.trim().split_once('(').ok_or_else(|| err(line, "missing port list"))?;
+                rest.trim().split_once('(').ok_or_else(|| err(line, &stmt, "missing port list"))?;
             nl = Some(Netlist::new(name.trim(), lib.clone()));
             continue;
         }
         if stmt == "endmodule" {
             break;
         }
-        let nl_ref = nl.as_mut().ok_or_else(|| err(line, "statement before module"))?;
+        let nl_ref = nl.as_mut().ok_or_else(|| err(line, &stmt, "statement before module"))?;
         if let Some(rest) = stmt.strip_prefix("input") {
             for name in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
                 let id = nl_ref.add_input(name);
@@ -137,15 +145,15 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
             }
         } else {
             // Cell instance: CELL inst ( .PIN(net), ... )
-            let open = stmt.find('(').ok_or_else(|| err(line, "expected instance ports"))?;
+            let open = stmt.find('(').ok_or_else(|| err(line, &stmt, "expected instance ports"))?;
             let head: Vec<&str> = stmt[..open].split_whitespace().collect();
             if head.len() != 2 {
-                return Err(err(line, "expected `CELL instance (...)`"));
+                return Err(err(line, &stmt, "expected `CELL instance (...)`"));
             }
             let cell_id = lib
                 .cell_id(head[0])
                 .ok_or_else(|| NetlistError::UnknownCell { name: head[0].to_string() })?;
-            let close = stmt.rfind(')').ok_or_else(|| err(line, "unclosed port list"))?;
+            let close = stmt.rfind(')').ok_or_else(|| err(line, &stmt, "unclosed port list"))?;
             let body = &stmt[open + 1..close];
             let mut pin_map: HashMap<String, String> = HashMap::new();
             for conn in split_top_level(body) {
@@ -155,9 +163,9 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
                 }
                 let conn = conn
                     .strip_prefix('.')
-                    .ok_or_else(|| err(line, "expected named port connection"))?;
+                    .ok_or_else(|| err(line, conn, "expected named port connection"))?;
                 let (pin, rest) =
-                    conn.split_once('(').ok_or_else(|| err(line, "malformed port"))?;
+                    conn.split_once('(').ok_or_else(|| err(line, conn, "malformed port"))?;
                 let net = rest.trim_end_matches(')').trim();
                 pin_map.insert(pin.trim().to_string(), net.to_string());
             }
@@ -175,7 +183,7 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
             for pin in &cell.inputs {
                 let net = pin_map
                     .get(pin)
-                    .ok_or_else(|| err(line, &format!("missing connection for pin {pin}")))?
+                    .ok_or_else(|| err(line, &stmt, &format!("missing connection for pin {pin}")))?
                     .clone();
                 ins.push(resolve(nl_ref, &net));
             }
@@ -183,7 +191,9 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
             for out in &cell.outputs {
                 let net = pin_map
                     .get(&out.name)
-                    .ok_or_else(|| err(line, &format!("missing connection for pin {}", out.name)))?
+                    .ok_or_else(|| {
+                        err(line, &stmt, &format!("missing connection for pin {}", out.name))
+                    })?
                     .clone();
                 outs.push(resolve(nl_ref, &net));
             }
@@ -191,7 +201,7 @@ pub fn parse_verilog(text: &str, lib: Arc<Library>) -> Result<Netlist, NetlistEr
         }
     }
 
-    let mut nl = nl.ok_or_else(|| err(1, "no module found"))?;
+    let mut nl = nl.ok_or_else(|| err(1, "", "no module found"))?;
     for name in pending_outputs {
         let id = nets[&name];
         nl.mark_output(id);

@@ -46,6 +46,9 @@ pub use manifest::{Manifest, Run};
 struct Registry {
     counters: BTreeMap<String, u64>,
     volatiles: BTreeMap<String, f64>,
+    /// Depth of active [`pause`] guards; counter writes are dropped while
+    /// non-zero (volatile metrics keep recording — they are never compared).
+    paused: usize,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -69,18 +72,58 @@ pub fn add(name: &str, n: u64) {
     if n == 0 {
         return;
     }
-    *lock().counters.entry(name.to_string()).or_insert(0) += n;
+    let mut r = lock();
+    if r.paused > 0 {
+        return;
+    }
+    *r.counters.entry(name.to_string()).or_insert(0) += n;
 }
 
 /// Adds a batch of counter increments under one registry lock — the flush
 /// primitive for per-shard accumulators on the hot path.
 pub fn add_many(entries: &[(&str, u64)]) {
     let mut r = lock();
+    if r.paused > 0 {
+        return;
+    }
     for &(name, n) in entries {
         if n > 0 {
             *r.counters.entry(name.to_string()).or_insert(0) += n;
         }
     }
+}
+
+/// Suspends deterministic-counter recording until the guard drops.
+///
+/// Checkpoint *replay* uses this: resuming a run re-executes the accepted
+/// iterations to rebuild the in-memory design state, but those iterations
+/// were already counted by the original run — the checkpoint carries their
+/// counter snapshot ([`restore_counters`]). Pausing while replaying keeps
+/// the resumed manifest byte-identical to the uninterrupted one. Guards
+/// nest; volatile metrics and spans' wall-clock halves keep recording.
+#[must_use = "recording resumes as soon as the guard drops"]
+pub fn pause() -> PauseGuard {
+    lock().paused += 1;
+    PauseGuard(())
+}
+
+/// Guard returned by [`pause`]; counter recording resumes when it drops.
+pub struct PauseGuard(());
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        let mut r = lock();
+        r.paused = r.paused.saturating_sub(1);
+    }
+}
+
+/// Replaces all deterministic counters with `snapshot` (volatile metrics
+/// are untouched). The restore half of checkpoint resume: after replaying
+/// the decision log under [`pause`], the resumed process continues from
+/// exactly the counts the original run had at checkpoint time.
+pub fn restore_counters(snapshot: &BTreeMap<String, u64>) {
+    let mut r = lock();
+    r.counters = snapshot.clone();
 }
 
 /// Adds `v` to the volatile (non-deterministic) metric `name`.
@@ -135,7 +178,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         let ms = self.start.elapsed().as_secs_f64() * 1e3;
         let mut r = lock();
-        *r.counters.entry(format!("span.{}.calls", self.name)).or_insert(0) += 1;
+        if r.paused == 0 {
+            *r.counters.entry(format!("span.{}.calls", self.name)).or_insert(0) += 1;
+        }
         *r.volatiles.entry(format!("span.{}.wall_ms", self.name)).or_insert(0.0) += ms;
     }
 }
@@ -172,6 +217,43 @@ mod tests {
         let v = volatiles();
         assert!(v.contains_key("span.stage.wall_ms"));
         assert!(*v.get("span.stage.wall_ms").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn pause_suspends_counters_but_not_volatiles() {
+        let _g = isolation_lock();
+        reset();
+        add("kept", 1);
+        {
+            let _p = pause();
+            add("dropped", 5);
+            add_many(&[("dropped", 2)]);
+            volatile_add("wall", 1.0);
+            {
+                let _p2 = pause(); // guards nest
+                add("dropped", 1);
+            }
+            add("dropped", 1);
+            let _s = span("paused.stage");
+        }
+        add("kept", 2);
+        assert_eq!(counter("kept"), 3);
+        assert_eq!(counter("dropped"), 0);
+        assert_eq!(counter("span.paused.stage.calls"), 0);
+        assert_eq!(volatiles().get("wall"), Some(&1.0));
+        assert!(volatiles().contains_key("span.paused.stage.wall_ms"));
+    }
+
+    #[test]
+    fn restore_counters_replaces_exactly() {
+        let _g = isolation_lock();
+        reset();
+        add("stale", 9);
+        volatile_set("kept.volatile", 4.0);
+        let snapshot = BTreeMap::from([("a".to_string(), 2u64), ("b".to_string(), 7u64)]);
+        restore_counters(&snapshot);
+        assert_eq!(counters(), snapshot);
+        assert_eq!(volatiles().get("kept.volatile"), Some(&4.0));
     }
 
     #[test]

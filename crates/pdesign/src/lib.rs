@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod floorplan;
 pub mod flow;
 pub mod layout;

@@ -1,0 +1,181 @@
+//! The typed error hierarchy of the resynthesis flow.
+//!
+//! Every failure path reachable from user input (parser errors, constraint
+//! violations, `PDesign()` rejections, ATPG aborts, checkpoint I/O) maps
+//! into one [`FlowError`] variant instead of panicking. Each variant has a
+//! [`Severity`]: *recoverable* failures let the flow surface its
+//! best-so-far accepted design, *fatal* ones abort the run.
+
+use std::error::Error;
+use std::fmt;
+
+/// How the flow reacts to an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// The flow can continue (or terminate early) and still report the
+    /// best-so-far accepted design.
+    Recoverable,
+    /// No meaningful result exists; the run must abort.
+    Fatal,
+}
+
+/// A typed flow failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlowError {
+    /// Input text (Verilog, Liberty, checkpoint JSON) failed to parse.
+    Parse {
+        /// What was being parsed (`"verilog"`, `"liberty"`, `"checkpoint"`).
+        stage: String,
+        /// 1-based line of the failure (0 when unknown).
+        line: usize,
+        /// 1-based column of the failure (0 when unknown).
+        col: usize,
+        /// The offending source fragment, truncated.
+        context: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The netlist violates a structural invariant (floating net,
+    /// combinational loop, unknown cell, pin mismatch).
+    InvalidNetlist {
+        /// Description of the violated invariant.
+        message: String,
+    },
+    /// `PDesign()` rejected the design: it no longer fits the fixed
+    /// floorplan (the paper's hard die-area constraint).
+    Placement {
+        /// Sites required by the unplaced gates.
+        needed_sites: usize,
+        /// Free sites remaining in the floorplan.
+        free_sites: usize,
+    },
+    /// An accepted candidate violates the delay/power budgets and the
+    /// Section III-C backtracking procedure could not recover.
+    ConstraintViolation {
+        /// The budget that failed (`"delay"` or `"power"`).
+        budget: String,
+        /// The limit that was exceeded.
+        limit: f64,
+        /// The value that exceeded it.
+        actual: f64,
+    },
+    /// A checkpoint could not be written, read, or validated.
+    Checkpoint {
+        /// The checkpoint path or identifier.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A flow stage panicked or failed internally; the flow recovered and
+    /// reports what it had.
+    Internal {
+        /// The stage that failed (`"resynth"`, `"atpg"`, …).
+        stage: String,
+        /// The panic payload or failure description.
+        message: String,
+    },
+}
+
+impl FlowError {
+    /// The severity class of this error.
+    pub fn severity(&self) -> Severity {
+        match self {
+            // Inputs that never produced a design state cannot degrade
+            // gracefully; everything after the first accepted analysis can.
+            FlowError::Parse { .. } | FlowError::InvalidNetlist { .. } => Severity::Fatal,
+            FlowError::Placement { .. }
+            | FlowError::ConstraintViolation { .. }
+            | FlowError::Checkpoint { .. }
+            | FlowError::Internal { .. } => Severity::Recoverable,
+        }
+    }
+
+    /// True when the flow may continue with its best-so-far design.
+    pub fn is_recoverable(&self) -> bool {
+        self.severity() == Severity::Recoverable
+    }
+
+    /// Short stable label for counters and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlowError::Parse { .. } => "parse",
+            FlowError::InvalidNetlist { .. } => "invalid_netlist",
+            FlowError::Placement { .. } => "placement",
+            FlowError::ConstraintViolation { .. } => "constraint",
+            FlowError::Checkpoint { .. } => "checkpoint",
+            FlowError::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse { stage, line, col, context, message } => {
+                write!(f, "{stage} parse error at {line}:{col}: {message}")?;
+                if !context.is_empty() {
+                    write!(f, " (near `{context}`)")?;
+                }
+                Ok(())
+            }
+            FlowError::InvalidNetlist { message } => write!(f, "invalid netlist: {message}"),
+            FlowError::Placement { needed_sites, free_sites } => write!(
+                f,
+                "placement rejected: needs {needed_sites} sites, {free_sites} free in the fixed floorplan"
+            ),
+            FlowError::ConstraintViolation { budget, limit, actual } => {
+                write!(f, "{budget} constraint violated: {actual:.3} exceeds {limit:.3}")
+            }
+            FlowError::Checkpoint { path, message } => {
+                write!(f, "checkpoint {path}: {message}")
+            }
+            FlowError::Internal { stage, message } => {
+                write!(f, "internal failure in {stage}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_split_matches_design() {
+        let fatal = FlowError::Parse {
+            stage: "verilog".into(),
+            line: 3,
+            col: 7,
+            context: "NAND2X1 u0".into(),
+            message: "missing connection".into(),
+        };
+        assert_eq!(fatal.severity(), Severity::Fatal);
+        assert!(!fatal.is_recoverable());
+
+        let recoverable = FlowError::Placement { needed_sites: 10, free_sites: 4 };
+        assert!(recoverable.is_recoverable());
+        assert_eq!(recoverable.kind(), "placement");
+    }
+
+    #[test]
+    fn display_includes_position_and_context() {
+        let e = FlowError::Parse {
+            stage: "liberty".into(),
+            line: 12,
+            col: 5,
+            context: "cell (".into(),
+            message: "unclosed group".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("12:5"), "{s}");
+        assert!(s.contains("cell ("), "{s}");
+        let c = FlowError::ConstraintViolation {
+            budget: "delay".into(),
+            limit: 100.0,
+            actual: 123.456,
+        };
+        assert!(c.to_string().contains("123.456"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Deterministic failure injection — SYNFI's systematic-injection idea
+//! applied to the flow itself.
+//!
+//! An [`InjectionPlan`] names the exact sites where the flow must fail:
+//! the *n*-th `PDesign()` call rejects, the PODEM search for global fault
+//! *i* of ATPG run *r* aborts, shard *s* of run *r* errors, or a
+//! `PDesign()` call reports inflated timing. Sites are keyed by
+//! deterministic serial ordinals (call counts, fault indices, shard
+//! indices), never by wall-clock or thread identity, so an injected
+//! failure fires at the same place on every run and every thread count.
+//!
+//! [`arm`] installs a plan process-globally and returns an [`ArmedPlan`]
+//! guard; dropping the guard disarms injection. The guard also holds a
+//! process-wide mutex so concurrent tests cannot observe each other's
+//! plans. With no plan armed, the flow pays one relaxed atomic load per
+//! query site.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Where and how the flow should be made to fail.
+///
+/// All ordinals are 0-based and deterministic: `pdesign` ordinals count
+/// `physical_design_in` calls process-wide since arming; ATPG run ordinals
+/// count `run_atpg` entries since arming; fault indices are positions in
+/// the run's full fault list; shard indices are positions in the run's
+/// deterministic shard split.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// `physical_design_in` call ordinals that return a placement error.
+    pub pdesign_rejects: BTreeSet<u64>,
+    /// `physical_design_in` call ordinals whose reported critical delay is
+    /// inflated, yielding accepted-but-constraint-violating candidates
+    /// (the trigger for Section III-C backtracking).
+    pub pdesign_inflations: BTreeSet<u64>,
+    /// Delay multiplier (in percent) for inflated calls; 300 = 3×.
+    pub inflation_percent: u64,
+    /// `(atpg run ordinal, global fault index)` pairs whose PODEM search
+    /// aborts once. Consume-once: the escalation retry succeeds, which is
+    /// exactly what exercises the rescue path.
+    pub podem_aborts: BTreeSet<(u64, u64)>,
+    /// `(atpg run ordinal, shard index)` pairs whose first execution
+    /// fails; the engine's shard retry then recovers them.
+    pub shard_failures: BTreeSet<(u64, u64)>,
+}
+
+impl InjectionPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self { inflation_percent: 300, ..Self::default() }
+    }
+
+    /// Rejects the `ordinal`-th `PDesign()` call.
+    pub fn reject_pdesign(mut self, ordinal: u64) -> Self {
+        self.pdesign_rejects.insert(ordinal);
+        self
+    }
+
+    /// Inflates the reported critical delay of the `ordinal`-th
+    /// `PDesign()` call by [`InjectionPlan::inflation_percent`].
+    pub fn inflate_pdesign(mut self, ordinal: u64) -> Self {
+        self.pdesign_inflations.insert(ordinal);
+        self
+    }
+
+    /// Sets the delay inflation factor in percent (300 = 3×).
+    pub fn inflation_percent(mut self, percent: u64) -> Self {
+        self.inflation_percent = percent;
+        self
+    }
+
+    /// Aborts the PODEM search for `fault_index` during ATPG run `run`.
+    pub fn abort_podem(mut self, run: u64, fault_index: u64) -> Self {
+        self.podem_aborts.insert((run, fault_index));
+        self
+    }
+
+    /// Fails shard `shard` of ATPG run `run` on its first execution.
+    pub fn fail_shard(mut self, run: u64, shard: u64) -> Self {
+        self.shard_failures.insert((run, shard));
+        self
+    }
+
+    /// A pseudo-random plan derived from `seed` (SplitMix64): `rejects`
+    /// PDesign rejections, `inflations` timing inflations, `aborts` PODEM
+    /// aborts, and `shard_fails` shard failures, spread over small
+    /// ordinals so short flows still hit them. Deterministic in `seed`.
+    pub fn random(seed: u64, rejects: u32, inflations: u32, aborts: u32, shard_fails: u32) -> Self {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut plan = InjectionPlan::new();
+        for _ in 0..rejects {
+            // Ordinal 0 is the seed analysis; keep it alive so the flow
+            // always has a best-so-far design to fall back on.
+            plan.pdesign_rejects.insert(1 + next() % 8);
+        }
+        for _ in 0..inflations {
+            plan.pdesign_inflations.insert(1 + next() % 8);
+        }
+        for _ in 0..aborts {
+            plan.podem_aborts.insert((next() % 3, next() % 64));
+        }
+        for _ in 0..shard_fails {
+            plan.shard_failures.insert((next() % 3, next() % 4));
+        }
+        plan
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pdesign_rejects.is_empty()
+            && self.pdesign_inflations.is_empty()
+            && self.podem_aborts.is_empty()
+            && self.shard_failures.is_empty()
+    }
+}
+
+struct ActivePlan {
+    plan: InjectionPlan,
+    /// `(run, fault)` aborts already fired (consume-once).
+    fired_aborts: BTreeSet<(u64, u64)>,
+    /// `(run, shard)` failures already fired (consume-once).
+    fired_shards: BTreeSet<(u64, u64)>,
+}
+
+/// Fast-path gate: `false` means no plan is armed and every query returns
+/// "do not inject" after a single atomic load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Serial ordinal of `physical_design_in` calls since arming.
+static PDESIGN_ORDINAL: AtomicU64 = AtomicU64::new(0);
+/// Serial ordinal of `run_atpg` entries since arming.
+static ATPG_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+fn active() -> &'static Mutex<Option<ActivePlan>> {
+    static ACTIVE: OnceLock<Mutex<Option<ActivePlan>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| Mutex::new(None))
+}
+
+fn active_lock() -> MutexGuard<'static, Option<ActivePlan>> {
+    active().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn session() -> &'static Mutex<()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(()))
+}
+
+/// Guard returned by [`arm`]; injection stays active until it drops.
+///
+/// Holding the guard also holds a process-wide session lock, serialising
+/// tests that arm plans against each other.
+pub struct ArmedPlan {
+    _session: MutexGuard<'static, ()>,
+}
+
+impl Drop for ArmedPlan {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *active_lock() = None;
+    }
+}
+
+/// Installs `plan` process-globally and resets the call ordinals.
+///
+/// Returns a guard; the plan is disarmed when it drops. Blocks until any
+/// previously armed plan is dropped.
+pub fn arm(plan: InjectionPlan) -> ArmedPlan {
+    let session = session().lock().unwrap_or_else(PoisonError::into_inner);
+    *active_lock() =
+        Some(ActivePlan { plan, fired_aborts: BTreeSet::new(), fired_shards: BTreeSet::new() });
+    PDESIGN_ORDINAL.store(0, Ordering::SeqCst);
+    ATPG_ORDINAL.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    ArmedPlan { _session: session }
+}
+
+/// True when a plan is currently armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Claims the next ATPG run ordinal (0 when injection is disarmed).
+///
+/// Called once per `run_atpg` entry; the returned ordinal keys
+/// [`should_abort_podem`] and [`should_fail_shard`] for that run.
+pub fn next_atpg_run() -> u64 {
+    if !is_armed() {
+        return 0;
+    }
+    ATPG_ORDINAL.fetch_add(1, Ordering::SeqCst)
+}
+
+/// Decides the fate of the next `physical_design_in` call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PdesignFate {
+    /// Run normally.
+    Normal,
+    /// Return a forced placement rejection.
+    Reject,
+    /// Run normally, then multiply the reported critical delay by
+    /// `percent`/100.
+    InflateDelay {
+        /// Delay multiplier in percent (300 = 3×).
+        percent: u64,
+    },
+}
+
+/// Consults the armed plan for the next `PDesign()` call, advancing the
+/// call ordinal. Fires the `inject.fired.pdesign_*` counters.
+pub fn pdesign_fate() -> PdesignFate {
+    if !is_armed() {
+        return PdesignFate::Normal;
+    }
+    let ordinal = PDESIGN_ORDINAL.fetch_add(1, Ordering::SeqCst);
+    let guard = active_lock();
+    let Some(active) = guard.as_ref() else { return PdesignFate::Normal };
+    if active.plan.pdesign_rejects.contains(&ordinal) {
+        drop(guard);
+        rsyn_observe::add("inject.fired.pdesign_reject", 1);
+        return PdesignFate::Reject;
+    }
+    if active.plan.pdesign_inflations.contains(&ordinal) {
+        let percent = active.plan.inflation_percent;
+        drop(guard);
+        rsyn_observe::add("inject.fired.pdesign_inflate", 1);
+        return PdesignFate::InflateDelay { percent };
+    }
+    PdesignFate::Normal
+}
+
+/// True when the PODEM search for `fault_index` in ATPG run `run` must
+/// abort. Consume-once per site: the escalation retry of the same fault
+/// returns `false`, so the rescue path completes.
+pub fn should_abort_podem(run: u64, fault_index: u64) -> bool {
+    if !is_armed() {
+        return false;
+    }
+    let mut guard = active_lock();
+    let Some(active) = guard.as_mut() else { return false };
+    let key = (run, fault_index);
+    if active.plan.podem_aborts.contains(&key) && active.fired_aborts.insert(key) {
+        drop(guard);
+        rsyn_observe::add("inject.fired.podem_abort", 1);
+        return true;
+    }
+    false
+}
+
+/// True when shard `shard` of ATPG run `run` must fail this execution.
+/// Consume-once per site: the engine's retry of the same shard succeeds.
+pub fn should_fail_shard(run: u64, shard: u64) -> bool {
+    if !is_armed() {
+        return false;
+    }
+    let mut guard = active_lock();
+    let Some(active) = guard.as_mut() else { return false };
+    let key = (run, shard);
+    if active.plan.shard_failures.contains(&key) && active.fired_shards.insert(key) {
+        drop(guard);
+        rsyn_observe::add("inject.fired.shard", 1);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_queries_inject_nothing() {
+        // No plan armed in this test; all sites must be pass-through.
+        assert_eq!(pdesign_fate(), PdesignFate::Normal);
+        assert!(!should_abort_podem(0, 0));
+        assert!(!should_fail_shard(0, 0));
+    }
+
+    #[test]
+    fn plan_fires_at_exact_ordinals_and_consumes_once() {
+        let plan = InjectionPlan::new()
+            .reject_pdesign(1)
+            .inflate_pdesign(2)
+            .abort_podem(0, 7)
+            .fail_shard(1, 0);
+        let armed = arm(plan);
+        assert!(is_armed());
+
+        assert_eq!(pdesign_fate(), PdesignFate::Normal); // ordinal 0
+        assert_eq!(pdesign_fate(), PdesignFate::Reject); // ordinal 1
+        assert_eq!(pdesign_fate(), PdesignFate::InflateDelay { percent: 300 });
+        assert_eq!(pdesign_fate(), PdesignFate::Normal);
+
+        assert!(should_abort_podem(0, 7));
+        assert!(!should_abort_podem(0, 7), "abort sites are consume-once");
+        assert!(!should_abort_podem(0, 8));
+
+        assert!(should_fail_shard(1, 0));
+        assert!(!should_fail_shard(1, 0), "shard sites are consume-once");
+
+        drop(armed);
+        assert!(!is_armed());
+        assert_eq!(pdesign_fate(), PdesignFate::Normal);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_spare_ordinal_zero() {
+        let a = InjectionPlan::random(42, 2, 1, 3, 1);
+        let b = InjectionPlan::random(42, 2, 1, 3, 1);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(!a.pdesign_rejects.contains(&0), "seed analysis must survive");
+        let c = InjectionPlan::random(43, 2, 1, 3, 1);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+}

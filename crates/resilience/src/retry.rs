@@ -1,0 +1,76 @@
+//! Bounded retry policies for abort escalation.
+//!
+//! A PODEM search that hits its backtrack limit returns
+//! `PodemOutcome::Aborted` — the fault is neither detected nor proven
+//! undetectable, a silent test hole. Instead of dropping it, the engine
+//! re-runs the search with a geometrically escalated backtrack limit:
+//! `256 → 1024 → 4096` under the default policy. Escalation happens
+//! *inside the owning shard*, so the retry count and the final verdict are
+//! independent of the worker-thread count.
+
+/// Geometric escalation of a backtrack limit, bounded by a cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// Multiplier applied to the limit at each retry round.
+    pub factor: u32,
+    /// Hard ceiling on the escalated limit; rounds stop once reached.
+    pub cap: u32,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        EscalationPolicy { factor: 4, cap: 4096 }
+    }
+}
+
+impl EscalationPolicy {
+    /// A policy that never retries (cap at the base limit).
+    pub fn disabled() -> Self {
+        EscalationPolicy { factor: 1, cap: 0 }
+    }
+
+    /// The escalated limits tried after `base` fails, in order.
+    ///
+    /// The base attempt itself is not included. The sequence is strictly
+    /// increasing and ends at (or below) `cap`; an empty sequence means
+    /// "never retry".
+    pub fn limits(&self, base: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.factor <= 1 || self.cap <= base {
+            return out;
+        }
+        let mut limit = base;
+        loop {
+            limit = limit.saturating_mul(self.factor).min(self.cap);
+            out.push(limit);
+            if limit >= self.cap {
+                return out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_escalates_256_to_4096() {
+        let p = EscalationPolicy::default();
+        assert_eq!(p.limits(256), vec![1024, 4096]);
+    }
+
+    #[test]
+    fn cap_clamps_the_last_round() {
+        let p = EscalationPolicy { factor: 4, cap: 3000 };
+        assert_eq!(p.limits(256), vec![1024, 3000]);
+    }
+
+    #[test]
+    fn disabled_and_degenerate_policies_never_retry() {
+        assert!(EscalationPolicy::disabled().limits(256).is_empty());
+        assert!(EscalationPolicy { factor: 1, cap: 4096 }.limits(256).is_empty());
+        assert!(EscalationPolicy { factor: 4, cap: 256 }.limits(256).is_empty());
+        assert!(EscalationPolicy { factor: 4, cap: 100 }.limits(256).is_empty());
+    }
+}

@@ -37,4 +37,31 @@ RSYN_MANIFEST_DIR="$SMOKE_DIR/gs" target/release/guideline_stats sparc_tlu >/dev
 "$CHECK" --no-timings results/baselines/manifest-guideline_stats.json \
   "$SMOKE_DIR/gs/manifest-guideline_stats.json"
 
+echo "== failure-injection smoke gate (forced rejection/inflation/abort/shard loss)"
+# The resilient flow driver must absorb every injected failure (the bin
+# itself asserts recovery and that backtracking ran), and the injected run
+# must stay deterministic across worker counts and match its baseline.
+SMOKE=target/release/resilience_smoke
+RSYN_MANIFEST_DIR="$SMOKE_DIR/i1" "$SMOKE" --inject --threads 1 sparc_tlu >/dev/null
+RSYN_MANIFEST_DIR="$SMOKE_DIR/i4" "$SMOKE" --inject --threads 4 sparc_tlu >/dev/null
+"$CHECK" --determinism "$SMOKE_DIR/i1/manifest-resilience.json" \
+  "$SMOKE_DIR/i4/manifest-resilience.json"
+"$CHECK" --no-timings results/baselines/manifest-resilience.json \
+  "$SMOKE_DIR/i1/manifest-resilience.json"
+
+echo "== checkpoint/resume determinism gate"
+# A clean checkpointed run, resumed from its first checkpoint, must re-write
+# the later checkpoints byte-identically and land on the byte-identical
+# stable manifest.
+RSYN_MANIFEST_DIR="$SMOKE_DIR/cm" "$SMOKE" --threads 4 \
+  --checkpoint-dir "$SMOKE_DIR/ck" sparc_tlu >/dev/null
+RSYN_MANIFEST_DIR="$SMOKE_DIR/rm" "$SMOKE" --threads 4 \
+  --resume "$SMOKE_DIR/ck/checkpoint-resilience-001.json" \
+  --checkpoint-dir "$SMOKE_DIR/rk" sparc_tlu >/dev/null
+for ck in "$SMOKE_DIR"/rk/checkpoint-resilience-[0-9]*.json; do
+  "$CHECK" --determinism "$SMOKE_DIR/ck/$(basename "$ck")" "$ck"
+done
+"$CHECK" --determinism "$SMOKE_DIR/cm/manifest-resilience.json" \
+  "$SMOKE_DIR/rm/manifest-resilience.json"
+
 echo "verify: OK"

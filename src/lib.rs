@@ -16,7 +16,9 @@
 //! * [`circuits`] — the benchmark circuit generators;
 //! * [`cluster`] — structural clustering of undetectable faults;
 //! * [`core`] — the paper's two-phase resynthesis procedure;
-//! * [`observe`] — stage spans, deterministic counters, run manifests.
+//! * [`observe`] — stage spans, deterministic counters, run manifests;
+//! * [`resilience`] — typed flow errors, deterministic failure injection,
+//!   abort-escalation retry policies, and checkpoint/resume.
 
 pub use rsyn_atpg as atpg;
 pub use rsyn_circuits as circuits;
@@ -27,3 +29,4 @@ pub use rsyn_logic as logic;
 pub use rsyn_netlist as netlist;
 pub use rsyn_observe as observe;
 pub use rsyn_pdesign as pdesign;
+pub use rsyn_resilience as resilience;
