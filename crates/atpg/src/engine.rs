@@ -288,6 +288,10 @@ pub fn run_atpg(
                         &format!("atpg.worker{w}.busy_ms"),
                         t0.elapsed().as_secs_f64() * 1e3,
                     );
+                    // Publish this worker's buffered metrics and trace
+                    // events before the scope joins (the thread-local
+                    // backstop flush can run after the join returns).
+                    rsyn_observe::flush();
                 });
             }
         });
@@ -450,6 +454,7 @@ fn run_shard(
     options: &AtpgOptions,
     id: ShardIdentity,
 ) -> ShardPart {
+    let _zone = rsyn_observe::trace::zone("atpg.shard", id.index as u64);
     let seed = shard_seed(options.seed, id.index as u64);
     let mut statuses = vec![FaultStatus::Undetected; faults.len()];
     let mut tests = TestSet::new();
@@ -457,6 +462,7 @@ fn run_shard(
     let npis = view.pis.len();
 
     // --- random phase ---------------------------------------------------------
+    let random_span = rsyn_observe::span("atpg.random");
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..options.random_words {
         let lanes: Vec<u64> = (0..npis).map(|_| rng.gen()).collect();
@@ -491,13 +497,16 @@ fn run_shard(
     }
 
     let random_detected = statuses.iter().filter(|s| **s == FaultStatus::Detected).count() as u64;
+    drop(random_span);
 
     // --- deterministic phase -----------------------------------------------------
+    let podem_span = rsyn_observe::span("atpg.podem");
     let mut podem = Podem::new(nl, view, options.backtrack_limit);
     let mut drop_buffer: Vec<Pattern> = Vec::new();
     let escalated =
         options.escalation.limits(options.backtrack_limit.min(u32::MAX as usize) as u32);
     let mut escalation_backtracks = 0u64;
+    let mut escalation_decisions = 0u64;
     let mut abort_retries = 0u64;
     let mut abort_rescued = 0u64;
     for fi in 0..faults.len() {
@@ -505,6 +514,15 @@ fn run_shard(
             continue;
         }
         let fault = &faults[fi];
+        // Per-fault attribution: the zone id is the fault's global index,
+        // so a slow search in the trace names the exact fault; the effort
+        // histograms below are deterministic because each search depends
+        // only on the netlist, the fault, and the limit.
+        let fault_zone = rsyn_observe::trace::zone("atpg.fault", (id.base_fault + fi) as u64);
+        let backtracks_before = podem.backtracks();
+        let decisions_before = podem.decisions();
+        let mut fault_backtracks = 0u64;
+        let mut fault_decisions = 0u64;
         // An injected abort skips the base attempt entirely; the
         // escalation rounds below then rescue the fault, exercising the
         // same path a genuine backtrack-limit hit takes.
@@ -525,6 +543,9 @@ fn run_shard(
                 let (d, a) =
                     attempt_fault(&mut esc, &mut sim, &mut tests, &mut drop_buffer, fault, npis);
                 escalation_backtracks += esc.backtracks();
+                escalation_decisions += esc.decisions();
+                fault_backtracks += esc.backtracks();
+                fault_decisions += esc.decisions();
                 if d || !a {
                     // Rescued: detected, or the search completed and the
                     // fault is proven undetectable.
@@ -535,6 +556,11 @@ fn run_shard(
                 }
             }
         }
+        fault_backtracks += podem.backtracks() - backtracks_before;
+        fault_decisions += podem.decisions() - decisions_before;
+        rsyn_observe::hist_add("atpg.podem.backtracks_per_fault", fault_backtracks);
+        rsyn_observe::hist_add("atpg.podem.decisions_per_fault", fault_decisions);
+        drop(fault_zone);
 
         statuses[fi] = if detected {
             FaultStatus::Detected
@@ -553,6 +579,7 @@ fn run_shard(
     if !drop_buffer.is_empty() {
         drop_faults(&mut sim, faults, &mut statuses, &drop_buffer, npis);
     }
+    drop(podem_span);
 
     // One registry flush per shard (not per fault): counters stay off the
     // hot path, and per-shard totals are thread-count independent because
@@ -563,6 +590,7 @@ fn run_shard(
         ("atpg.faults", faults.len() as u64),
         ("atpg.random.detected", random_detected),
         ("atpg.podem.backtracks", podem.backtracks() + escalation_backtracks),
+        ("atpg.podem.decisions", podem.decisions() + escalation_decisions),
         ("atpg.abort_retries", abort_retries),
         ("atpg.abort_rescued", abort_rescued),
         ("atpg.detected", count(FaultStatus::Detected)),

@@ -147,6 +147,7 @@ pub fn run_atpg_incremental(
         ("atpg.incremental.carried", (faults.len() - rerun.len()) as u64),
         ("atpg.incremental.rerun", rerun.len() as u64),
     ]);
+    rsyn_observe::hist_add("atpg.incremental.rerun_per_call", rerun.len() as u64);
 
     // Re-run the affected subset through the (parallel) engine, without
     // per-subset compaction: compaction happens once, globally, below.

@@ -92,6 +92,10 @@ pub struct Podem<'a> {
     run_backtracks: usize,
     /// Backtracks of all *finished* searches on this engine.
     finished_backtracks: u64,
+    /// Decisions (PI assignments pushed) of the current/last search.
+    run_decisions: u64,
+    /// Decisions of all *finished* searches on this engine.
+    finished_decisions: u64,
 }
 
 impl<'a> Podem<'a> {
@@ -116,6 +120,8 @@ impl<'a> Podem<'a> {
             fill_seed: None,
             run_backtracks: 0,
             finished_backtracks: 0,
+            run_decisions: 0,
+            finished_decisions: 0,
         }
     }
 
@@ -125,6 +131,14 @@ impl<'a> Podem<'a> {
     /// netlist and the target.
     pub fn backtracks(&self) -> u64 {
         self.finished_backtracks + self.run_backtracks as u64
+    }
+
+    /// Cumulative decisions (PI assignments pushed on the decision stack)
+    /// across every search this engine has run — the companion effort
+    /// metric to [`Podem::backtracks`], and deterministic for the same
+    /// reason: each search depends only on the netlist and the target.
+    pub fn decisions(&self) -> u64 {
+        self.finished_decisions + self.run_decisions
     }
 
     /// Runs the search for one target (unassigned inputs filled with 0).
@@ -138,6 +152,8 @@ impl<'a> Podem<'a> {
     pub fn run_with_fill(&mut self, target: &Target, fill_seed: Option<u64>) -> PodemOutcome {
         self.finished_backtracks += self.run_backtracks as u64;
         self.run_backtracks = 0;
+        self.finished_decisions += self.run_decisions;
+        self.run_decisions = 0;
         self.fill_seed = fill_seed;
         self.assignment.fill(None);
         let req = requirements(self.nl, target);
@@ -178,6 +194,7 @@ impl<'a> Podem<'a> {
                     match next {
                         Some((pi, v)) => {
                             self.assignment[pi] = Some(v);
+                            self.run_decisions += 1;
                             decisions.push(Decision { pi, value: v, flipped: false });
                         }
                         None => {

@@ -7,7 +7,12 @@
 //!   exact equality on schema, name, seed, every counter and every result;
 //!   timings shared by both files must stay within a ratio band
 //!   (`--timing-tolerance R`, default 1000, i.e. only catastrophic drift
-//!   fails; pass `--no-timings` to skip them entirely).
+//!   fails; pass `--no-timings` to skip them entirely). Repeatable
+//!   `--band PREFIX=R` flags tighten (or loosen) the band for every
+//!   timing key starting with `PREFIX` — the longest matching prefix wins
+//!   — which is how the perf-trajectory gate holds `span.*` wall times to
+//!   a configured regression band while leaving noisier keys on the
+//!   catastrophic-only default.
 //! * **Determinism**: `check_manifest --determinism <a> <b>` asserts the
 //!   *stable* serialisations of two manifests are byte-identical — the
 //!   thread-count-independence gate (same run at `--threads 1` vs `N`).
@@ -31,7 +36,8 @@ fn is_checkpoint(src: &str, path: &str) -> bool {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: check_manifest [--timing-tolerance R | --no-timings] <baseline> <current>\n\
+        "usage: check_manifest [--timing-tolerance R | --no-timings] [--band PREFIX=R ...] \
+         <baseline> <current>\n\
          \u{20}      check_manifest --determinism <a> <b>"
     );
     ExitCode::from(2)
@@ -57,6 +63,24 @@ fn main() -> ExitCode {
             Ok(r) if r >= 1.0 => cfg.timing_tolerance = r,
             _ => {
                 eprintln!("--timing-tolerance must be a ratio >= 1");
+                return ExitCode::from(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    while let Some(i) = args.iter().position(|a| a == "--band") {
+        if i + 1 >= args.len() {
+            return usage();
+        }
+        let spec = args[i + 1].clone();
+        let Some((prefix, ratio)) = spec.split_once('=') else {
+            eprintln!("--band expects PREFIX=RATIO, got `{spec}`");
+            return ExitCode::from(2);
+        };
+        match ratio.parse::<f64>() {
+            Ok(r) if r >= 1.0 => cfg.bands.push((prefix.to_string(), r)),
+            _ => {
+                eprintln!("--band ratio must be >= 1, got `{ratio}`");
                 return ExitCode::from(2);
             }
         }

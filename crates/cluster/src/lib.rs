@@ -181,6 +181,9 @@ pub fn cluster_faults(nl: &Netlist, faults: &[Fault], subset: &[usize]) -> Clust
         c.sort();
     }
     clusters.sort_by(|a, b| b.len().cmp(&a.len()).then(a.first().cmp(&b.first())));
+    for c in &clusters {
+        rsyn_observe::hist_add("cluster.size", c.len() as u64);
+    }
 
     Clusters { clusters, fault_gates, subset: subset.to_vec() }
 }

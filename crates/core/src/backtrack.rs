@@ -36,6 +36,7 @@ pub(crate) fn backtrack(
     evaluations: &mut usize,
 ) -> Option<(DesignState, Vec<GateId>)> {
     rsyn_observe::add("resynth.backtrack.calls", 1);
+    let _zone = rsyn_observe::trace::zone("resynth.backtrack", window.len() as u64);
     // G_i: window gates of banned cell types, ordered so that the most
     // timing-critical gates are *removed first* (moved to G_back): the
     // constraint violations come from rebuilding critical-path gates, so
@@ -63,6 +64,7 @@ pub(crate) fn backtrack(
     }
     let step = (n as f64).sqrt().ceil() as usize;
     let groups = n.div_ceil(step);
+    rsyn_observe::hist_add("resynth.backtrack.group_size", step as u64);
 
     // Evaluate with the last `k` groups of G_i spared (moved to G_back).
     // Every such evaluation replaces a strictly smaller gate set than the

@@ -418,6 +418,7 @@ pub fn resynthesize_from(
     if cursor.phase == Phase::One {
         let mut iter = cursor.iter_in_phase;
         while iter < options.max_iterations {
+            let _zone = rsyn_observe::trace::zone("resynth.iter.p1", iter as u64);
             let s_pct = state.s_max_percent_of_f();
             if s_pct <= options.p1_percent || state.s_max_size() == 0 {
                 break;
@@ -427,6 +428,7 @@ pub fn resynthesize_from(
             if window.is_empty() {
                 break;
             }
+            rsyn_observe::hist_add("resynth.window_gates", window.len() as u64);
             let old = state.clone();
             let accept = |cand: &DesignState| {
                 cand.s_max_size() < old.s_max_size()
@@ -467,6 +469,7 @@ pub fn resynthesize_from(
     };
     let mut iter = if cursor.phase == Phase::Two { cursor.iter_in_phase } else { 0 };
     while iter < options.max_iterations {
+        let _zone = rsyn_observe::trace::zone("resynth.iter.p2", iter as u64);
         if state.undetectable_count() == 0 {
             break;
         }
@@ -475,6 +478,7 @@ pub fn resynthesize_from(
         if window.is_empty() {
             break;
         }
+        rsyn_observe::hist_add("resynth.window_gates", window.len() as u64);
         let old = state.clone();
         let accept = |cand: &DesignState| {
             cand.undetectable_count() < old.undetectable_count()

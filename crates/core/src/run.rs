@@ -269,6 +269,11 @@ fn write_checkpoint(
     next: &ResynthCursor,
     log: &[RemapRecord],
 ) -> Result<(), FlowError> {
+    // Volatile span + zone only: a counted span here would desynchronise
+    // the counters of a full run from a resumed run (the resumed run
+    // writes fewer checkpoints) and break stable-manifest byte-identity.
+    let _span = rsyn_observe::span_volatile("flow.checkpoint");
+    let _zone = rsyn_observe::trace::zone("flow.checkpoint.write", log.len() as u64);
     std::fs::create_dir_all(dir).map_err(|e| FlowError::Checkpoint {
         path: dir.display().to_string(),
         message: format!("create dir failed: {e}"),

@@ -66,7 +66,10 @@ pub fn extract_faults(
         let _scan_span = rsyn_observe::span("dfm.scan");
         scan_layout(layout, guidelines)
     };
-    faults.extend(translate::translate_violations(nl, &violations));
+    {
+        let _translate_span = rsyn_observe::span("dfm.translate");
+        faults.extend(translate::translate_violations(nl, &violations));
+    }
     rsyn_observe::add_many(&[
         ("dfm.extracts", 1),
         ("dfm.violations", violations.len() as u64),

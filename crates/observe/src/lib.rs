@@ -1,24 +1,47 @@
-//! Flow-wide observability: stage spans, monotonic counters, and JSON run
-//! manifests — with zero dependencies, so every crate of the workspace can
-//! emit metrics without widening its API.
+//! Flow-wide observability: stage spans, monotonic counters, latency
+//! histograms, structured traces, and JSON run manifests — with zero
+//! dependencies, so every crate of the workspace can emit metrics without
+//! widening its API.
 //!
 //! # Model
 //!
-//! A process-global registry holds two kinds of metrics:
+//! A process-global registry holds three kinds of metrics:
 //!
 //! * **Counters** (`u64`, [`add`]) are *deterministic*: for a fixed seed
 //!   and input they must not depend on the worker-thread count, the
 //!   machine, or scheduling. Producers guarantee this by counting work
 //!   whose amount is thread-count independent (e.g. per fault-shard, never
 //!   per worker) and flushing with commutative adds.
+//! * **Deterministic histograms** ([`hist_add`]) record distributions of
+//!   thread-count-independent quantities (PODEM backtracks per fault,
+//!   cluster sizes) in fixed power-of-two buckets. They are *encoded into
+//!   the counter namespace* (`hist.<name>.count/.sum/.min/.max/.bNN`), so
+//!   they ride along in manifests, determinism gates, and checkpoint
+//!   snapshots with no extra plumbing. See [`hist`].
 //! * **Volatile metrics** (`f64`, [`volatile_add`]) carry everything that
 //!   legitimately varies run-to-run: wall-clock times, per-worker shard
 //!   tallies, thread provenance. They are reported but never compared
-//!   exactly.
+//!   exactly. Each span additionally feeds a volatile *wall-time
+//!   histogram* whose quantile summary lands in the manifest's `timings`.
 //!
-//! A [`Span`] (from [`span`]) bridges the two: dropping it bumps the
-//! deterministic counter `span.<name>.calls` and adds the elapsed time to
-//! the volatile metric `span.<name>.wall_ms`.
+//! A [`Span`] (from [`span`]) bridges the kinds: dropping it bumps the
+//! deterministic counter `span.<name>.calls`, adds the elapsed time to the
+//! volatile metric `span.<name>.wall_ms`, feeds the volatile wall-time
+//! histogram, and — when tracing is enabled — emits a [`trace`] event with
+//! thread attribution. [`span_volatile`] is the counter-free variant for
+//! stages whose call count is *not* thread-count independent (checkpoint
+//! writes on a resumed run, for example).
+//!
+//! # Hot path
+//!
+//! Span and counter keys are `&'static str`; every record lands in a
+//! thread-local buffer (no global mutex, no `String` allocation). Buffers
+//! flush into the global registry whenever the owning thread reads a
+//! snapshot ([`counters`], [`volatiles`], [`counter`]) or calls [`flush`]
+//! — which worker closures do as their last step, since thread-local
+//! destructors (the backstop flush) may run after the spawning thread's
+//! join returns. [`lock_acquisitions`] counts global-registry lock
+//! acquisitions so tests can assert the hot path stays off the lock.
 //!
 //! [`manifest::Run`] snapshots the registry into a [`manifest::Manifest`]
 //! — the machine-readable record a benchmark binary writes to
@@ -33,23 +56,41 @@
 //! snapshots must hold [`isolation_lock`] so concurrently running tests in
 //! the same process cannot interleave their counts.
 
+pub mod hist;
 pub mod json;
 pub mod manifest;
+pub mod trace;
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
+pub use hist::{hist_add, Hist};
 pub use manifest::{Manifest, Run};
 
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<String, u64>,
     volatiles: BTreeMap<String, f64>,
-    /// Depth of active [`pause`] guards; counter writes are dropped while
-    /// non-zero (volatile metrics keep recording — they are never compared).
-    paused: usize,
+    /// Volatile wall-time histograms, one per span name, in nanoseconds.
+    wall_hists: BTreeMap<String, Hist>,
 }
+
+/// Depth of active [`pause`] guards; counter and deterministic-histogram
+/// writes are dropped *at record time* while non-zero (volatile metrics
+/// keep recording — they are never compared).
+static PAUSED: AtomicUsize = AtomicUsize::new(0);
+
+/// Bumped by [`reset`]; thread-local buffers stamped with an older epoch
+/// are discarded instead of flushed, so a stale buffer from a previous run
+/// cannot leak counts into the next one.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Global-registry lock acquisitions — the observability of the
+/// observability layer. Tests assert hot-path records do not move it.
+static LOCK_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
 
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
@@ -57,43 +98,184 @@ fn registry() -> &'static Mutex<Registry> {
 }
 
 fn lock() -> MutexGuard<'static, Registry> {
+    LOCK_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
     registry().lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Clears every counter and volatile metric (the start of a run).
+fn paused() -> bool {
+    PAUSED.load(Ordering::Acquire) > 0
+}
+
+/// Number of times the global registry lock has been taken since process
+/// start. Monotonic and never reset: stress tests snapshot it around a hot
+/// loop to prove spans/counters/histograms buffer thread-locally instead
+/// of hitting the mutex per call.
+pub fn lock_acquisitions() -> u64 {
+    LOCK_ACQUISITIONS.load(Ordering::Relaxed)
+}
+
+/// Per-span thread-local aggregate: the deterministic call tally and the
+/// volatile wall-clock sum + histogram, merged into the registry at flush.
+#[derive(Default)]
+struct SpanAgg {
+    calls: u64,
+    wall_ms: f64,
+    wall: Hist,
+}
+
+/// One thread's metric buffer. Keys are `&'static str`, so lookups are a
+/// short linear scan over pointer-comparable keys and recording allocates
+/// nothing after the first touch of a key.
+#[derive(Default)]
+struct Local {
+    epoch: u64,
+    counters: Vec<(&'static str, u64)>,
+    spans: Vec<(&'static str, SpanAgg)>,
+    hists: Vec<(&'static str, Hist)>,
+}
+
+impl Local {
+    fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.spans.is_empty() && self.hists.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.spans.clear();
+        self.hists.clear();
+    }
+
+    /// Merges this buffer into the global registry (one lock) and clears
+    /// it. Buffers stamped with a stale epoch are discarded: a [`reset`]
+    /// happened after they recorded, so their counts belong to a finished
+    /// run.
+    fn flush_into_registry(&mut self) {
+        if self.is_empty() {
+            return;
+        }
+        let mut r = lock();
+        if self.epoch != EPOCH.load(Ordering::Acquire) {
+            self.clear();
+            return;
+        }
+        for &(name, n) in &self.counters {
+            *r.counters.entry(name.to_string()).or_insert(0) += n;
+        }
+        for (name, agg) in &self.spans {
+            if agg.calls > 0 {
+                *r.counters.entry(format!("span.{name}.calls")).or_insert(0) += agg.calls;
+            }
+            *r.volatiles.entry(format!("span.{name}.wall_ms")).or_insert(0.0) += agg.wall_ms;
+            r.wall_hists.entry((*name).to_string()).or_default().merge(&agg.wall);
+        }
+        for (name, h) in &self.hists {
+            hist::merge_into_counters(&mut r.counters, name, h);
+        }
+        drop(r);
+        self.clear();
+    }
+}
+
+/// The buffer lives behind a drop guard so a thread flushes its counts
+/// when it exits. This is a *backstop*, not a publication guarantee:
+/// thread-local destructors may run after `JoinHandle::join` (and after a
+/// `thread::scope` join) returns, so worker closures that must publish
+/// before the spawning thread reads call [`flush`] explicitly as their
+/// last step.
+struct LocalGuard(Local);
+
+impl Drop for LocalGuard {
+    fn drop(&mut self) {
+        self.0.flush_into_registry();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalGuard> = RefCell::new(LocalGuard(Local::default()));
+}
+
+/// Runs `f` on this thread's buffer, re-syncing its epoch first. During
+/// thread-local teardown (another TLS destructor dropping a [`Span`]) the
+/// buffer may already be gone; `fallback` then applies the record straight
+/// to the registry so nothing is lost.
+fn with_local(f: impl FnOnce(&mut Local), fallback: impl FnOnce()) {
+    let used_local = LOCAL
+        .try_with(|cell| {
+            let mut guard = cell.borrow_mut();
+            let local = &mut guard.0;
+            let epoch = EPOCH.load(Ordering::Acquire);
+            if local.epoch != epoch {
+                local.clear();
+                local.epoch = epoch;
+            }
+            f(local);
+        })
+        .is_ok();
+    if !used_local {
+        fallback();
+    }
+}
+
+/// Flushes this thread's buffered metrics into the global registry and
+/// its buffered trace events into the global trace.
+///
+/// Reads ([`counters`], [`volatiles`], [`counter`], [`Run::finish`]) flush
+/// the calling thread automatically. **Worker threads must call this as
+/// the last step of their closure**: the thread-local drop backstop may
+/// run after the spawning thread's join returns, too late for a snapshot
+/// taken right after the scope. (The `atpg` engine's worker loop does
+/// this; copy the pattern for any new thread pool.)
+pub fn flush() {
+    let _ = LOCAL.try_with(|cell| cell.borrow_mut().0.flush_into_registry());
+    trace::flush_thread();
+}
+
+/// Clears every counter, histogram, and volatile metric (the start of a
+/// run) and invalidates all thread-local buffers.
+///
+/// # Invariant
+///
+/// No [`PauseGuard`] may be live across a reset: a leaked guard would
+/// silently suppress every counter of the *next* run. Debug builds assert
+/// `paused == 0`; release builds recover by force-clearing the pause depth
+/// so a leak cannot poison subsequent bench legs.
 pub fn reset() {
+    let leaked = PAUSED.swap(0, Ordering::AcqRel);
+    debug_assert!(leaked == 0, "rsyn_observe::reset() with a live PauseGuard (depth {leaked})");
+    EPOCH.fetch_add(1, Ordering::AcqRel);
     let mut r = lock();
     r.counters.clear();
     r.volatiles.clear();
+    r.wall_hists.clear();
 }
 
 /// Adds `n` to the deterministic counter `name`, creating it at zero.
-pub fn add(name: &str, n: u64) {
-    if n == 0 {
+pub fn add(name: &'static str, n: u64) {
+    if n == 0 || paused() {
         return;
     }
-    let mut r = lock();
-    if r.paused > 0 {
-        return;
-    }
-    *r.counters.entry(name.to_string()).or_insert(0) += n;
+    with_local(
+        |l| match l.counters.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v += n,
+            None => l.counters.push((name, n)),
+        },
+        || {
+            *lock().counters.entry(name.to_string()).or_insert(0) += n;
+        },
+    );
 }
 
-/// Adds a batch of counter increments under one registry lock — the flush
-/// primitive for per-shard accumulators on the hot path.
-pub fn add_many(entries: &[(&str, u64)]) {
-    let mut r = lock();
-    if r.paused > 0 {
-        return;
-    }
+/// Adds a batch of counter increments in one call — the flush primitive
+/// for per-shard accumulators on the hot path. Increments land in the
+/// thread-local buffer; no lock is taken.
+pub fn add_many(entries: &[(&'static str, u64)]) {
     for &(name, n) in entries {
-        if n > 0 {
-            *r.counters.entry(name.to_string()).or_insert(0) += n;
-        }
+        add(name, n);
     }
 }
 
-/// Suspends deterministic-counter recording until the guard drops.
+/// Suspends deterministic-counter (and deterministic-histogram) recording
+/// until the guard drops.
 ///
 /// Checkpoint *replay* uses this: resuming a run re-executes the accepted
 /// iterations to rebuild the in-memory design state, but those iterations
@@ -101,9 +283,11 @@ pub fn add_many(entries: &[(&str, u64)]) {
 /// counter snapshot ([`restore_counters`]). Pausing while replaying keeps
 /// the resumed manifest byte-identical to the uninterrupted one. Guards
 /// nest; volatile metrics and spans' wall-clock halves keep recording.
+/// Pausing is checked *at record time*, so records buffered before a pause
+/// still flush normally.
 #[must_use = "recording resumes as soon as the guard drops"]
 pub fn pause() -> PauseGuard {
-    lock().paused += 1;
+    PAUSED.fetch_add(1, Ordering::AcqRel);
     PauseGuard(())
 }
 
@@ -112,21 +296,32 @@ pub struct PauseGuard(());
 
 impl Drop for PauseGuard {
     fn drop(&mut self) {
-        let mut r = lock();
-        r.paused = r.paused.saturating_sub(1);
+        // Saturating: `reset` force-clears a leaked pause depth, so a
+        // stale guard dropping afterwards must not underflow into a new
+        // multi-billion pause.
+        let _ =
+            PAUSED.fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| Some(p.saturating_sub(1)));
     }
 }
 
 /// Replaces all deterministic counters with `snapshot` (volatile metrics
 /// are untouched). The restore half of checkpoint resume: after replaying
 /// the decision log under [`pause`], the resumed process continues from
-/// exactly the counts the original run had at checkpoint time.
+/// exactly the counts the original run had at checkpoint time. Because
+/// deterministic histograms are encoded in the counter namespace, they are
+/// restored by the same call.
 pub fn restore_counters(snapshot: &BTreeMap<String, u64>) {
-    let mut r = lock();
-    r.counters = snapshot.clone();
+    // Flush first so pre-restore buffered counts are folded in (and then
+    // replaced) rather than leaking into the restored state later.
+    flush();
+    lock().counters = snapshot.clone();
 }
 
 /// Adds `v` to the volatile (non-deterministic) metric `name`.
+///
+/// Volatile keys may be dynamic (`atpg.worker3.busy_ms`), so this writes
+/// through to the registry; it is meant for per-worker / per-run
+/// frequencies, not per-fault hot paths.
 pub fn volatile_add(name: &str, v: f64) {
     *lock().volatiles.entry(name.to_string()).or_insert(0.0) += v;
 }
@@ -136,18 +331,28 @@ pub fn volatile_set(name: &str, v: f64) {
     lock().volatiles.insert(name.to_string(), v);
 }
 
-/// Snapshot of all deterministic counters.
+/// Snapshot of all deterministic counters (this thread's buffer included).
 pub fn counters() -> BTreeMap<String, u64> {
+    flush();
     lock().counters.clone()
 }
 
-/// Snapshot of all volatile metrics.
+/// Snapshot of all volatile metrics (this thread's buffer included).
 pub fn volatiles() -> BTreeMap<String, f64> {
+    flush();
     lock().volatiles.clone()
+}
+
+/// Snapshot of the volatile wall-time histograms, keyed by span name,
+/// values in nanoseconds.
+pub fn wall_hists() -> BTreeMap<String, Hist> {
+    flush();
+    lock().wall_hists.clone()
 }
 
 /// One counter's current value (0 when never touched).
 pub fn counter(name: &str) -> u64 {
+    flush();
     lock().counters.get(name).copied().unwrap_or(0)
 }
 
@@ -159,29 +364,67 @@ pub fn isolation_lock() -> MutexGuard<'static, ()> {
     LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// A stage timer: created by [`span`], records on drop.
+/// A stage timer: created by [`span`] or [`span_volatile`], records on
+/// drop.
 #[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
 pub struct Span {
-    name: String,
+    name: &'static str,
     start: Instant,
+    counted: bool,
 }
 
 /// Starts a span named `name`. On drop it bumps the counter
-/// `span.<name>.calls` by one and adds the elapsed milliseconds to the
-/// volatile metric `span.<name>.wall_ms`. Spans may nest (inner stages are
-/// also part of their outer stage's wall time).
-pub fn span(name: &str) -> Span {
-    Span { name: name.to_string(), start: Instant::now() }
+/// `span.<name>.calls` by one, adds the elapsed milliseconds to the
+/// volatile metric `span.<name>.wall_ms`, feeds the span's volatile
+/// wall-time histogram, and emits a [`trace`] event when tracing is
+/// enabled. Spans may nest (inner stages are also part of their outer
+/// stage's wall time). The key must be `&'static str`: recording buffers
+/// thread-locally and never allocates.
+pub fn span(name: &'static str) -> Span {
+    Span { name, start: Instant::now(), counted: true }
+}
+
+/// Starts a volatile-only span: wall time, histogram, and trace event, but
+/// **no** `span.<name>.calls` counter. Use it for stages whose call count
+/// is legitimately run-dependent — e.g. checkpoint writes, which happen
+/// three times in a full run but fewer times in its resumed half — so the
+/// deterministic manifest section stays byte-identical.
+pub fn span_volatile(name: &'static str) -> Span {
+    Span { name, start: Instant::now(), counted: false }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let ms = self.start.elapsed().as_secs_f64() * 1e3;
-        let mut r = lock();
-        if r.paused == 0 {
-            *r.counters.entry(format!("span.{}.calls", self.name)).or_insert(0) += 1;
-        }
-        *r.volatiles.entry(format!("span.{}.wall_ms", self.name)).or_insert(0.0) += ms;
+        let elapsed = self.start.elapsed();
+        trace::record_complete(self.name, None, self.start, elapsed);
+        let counted = self.counted && !paused();
+        let ms = elapsed.as_secs_f64() * 1e3;
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let name = self.name;
+        with_local(
+            |l| {
+                let agg = match l.spans.iter_mut().find(|(k, _)| *k == name) {
+                    Some((_, agg)) => agg,
+                    None => {
+                        l.spans.push((name, SpanAgg::default()));
+                        &mut l.spans.last_mut().expect("just pushed").1
+                    }
+                };
+                agg.calls += u64::from(counted);
+                agg.wall_ms += ms;
+                agg.wall.record(ns);
+            },
+            || {
+                let mut r = lock();
+                if counted {
+                    *r.counters.entry(format!("span.{name}.calls")).or_insert(0) += 1;
+                }
+                *r.volatiles.entry(format!("span.{name}.wall_ms")).or_insert(0.0) += ms;
+                let mut h = Hist::default();
+                h.record(ns);
+                r.wall_hists.entry(name.to_string()).or_default().merge(&h);
+            },
+        );
     }
 }
 
@@ -217,6 +460,21 @@ mod tests {
         let v = volatiles();
         assert!(v.contains_key("span.stage.wall_ms"));
         assert!(*v.get("span.stage.wall_ms").unwrap() >= 0.0);
+        let h = wall_hists();
+        assert_eq!(h.get("stage").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn volatile_spans_skip_the_call_counter() {
+        let _g = isolation_lock();
+        reset();
+        {
+            let _s = span_volatile("vstage");
+        }
+        assert_eq!(counter("span.vstage.calls"), 0);
+        assert!(!counters().contains_key("span.vstage.calls"));
+        assert!(volatiles().contains_key("span.vstage.wall_ms"));
+        assert_eq!(wall_hists().get("vstage").map(|h| h.count), Some(1));
     }
 
     #[test]
@@ -228,6 +486,7 @@ mod tests {
             let _p = pause();
             add("dropped", 5);
             add_many(&[("dropped", 2)]);
+            hist_add("dropped.hist", 3);
             volatile_add("wall", 1.0);
             {
                 let _p2 = pause(); // guards nest
@@ -240,6 +499,7 @@ mod tests {
         assert_eq!(counter("kept"), 3);
         assert_eq!(counter("dropped"), 0);
         assert_eq!(counter("span.paused.stage.calls"), 0);
+        assert_eq!(counter("hist.dropped.hist.count"), 0);
         assert_eq!(volatiles().get("wall"), Some(&1.0));
         assert!(volatiles().contains_key("span.paused.stage.wall_ms"));
     }
@@ -265,5 +525,38 @@ mod tests {
         assert_eq!(volatiles().get("t"), Some(&3.0));
         volatile_set("t", 7.0);
         assert_eq!(volatiles().get("t"), Some(&7.0));
+    }
+
+    #[test]
+    fn worker_threads_publish_with_an_explicit_flush() {
+        let _g = isolation_lock();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    add("scoped", 10);
+                    {
+                        let _s = span("scoped.stage");
+                    }
+                    flush();
+                });
+            }
+        });
+        assert_eq!(counter("scoped"), 40);
+        assert_eq!(counter("span.scoped.stage.calls"), 4);
+        assert_eq!(wall_hists().get("scoped.stage").map(|h| h.count), Some(4));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "live PauseGuard"))]
+    fn reset_recovers_from_a_leaked_pause_guard() {
+        let _g = isolation_lock();
+        std::mem::forget(pause());
+        // Debug builds: the assert below fires (the leak is a bug).
+        // Release builds: reset force-clears the depth so the next run
+        // still counts.
+        reset();
+        add("after.leak", 1);
+        assert_eq!(counter("after.leak"), 1);
     }
 }

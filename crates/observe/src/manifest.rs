@@ -64,7 +64,7 @@ impl Manifest {
         render_map(&mut out, "results", &self.results, |v| format!("\"{}\"", json::escape(v)));
         if with_timings {
             out.push_str(",\n");
-            render_map(&mut out, "timings", &self.timings, |v| format!("{v:.3}"));
+            render_map(&mut out, "timings", &self.timings, |v| fmt_timing(*v));
         }
         out.push_str("\n}\n");
         out
@@ -103,7 +103,12 @@ impl Manifest {
         let mut timings = BTreeMap::new();
         if root.get("timings").is_some() {
             for (k, v) in obj_fields(&root, "timings")? {
-                let f = v.as_f64().ok_or_else(|| format!("timing '{k}' is not a number"))?;
+                // `null` is the explicit NaN encoding (see `fmt_timing`).
+                let f = if matches!(v, Json::Null) {
+                    f64::NAN
+                } else {
+                    v.as_f64().ok_or_else(|| format!("timing '{k}' is not a number"))?
+                };
                 timings.insert(k.clone(), f);
             }
         }
@@ -139,6 +144,24 @@ fn obj_fields<'a>(root: &'a Json, key: &str) -> Result<&'a [(String, Json)], Str
     root.get(key).and_then(Json::as_obj).ok_or_else(|| format!("missing/invalid '{key}' object"))
 }
 
+/// Formats one timing value as a valid JSON token. Wall-clock rates can
+/// legitimately go non-finite (a zero-duration stage, a failed divide);
+/// `format!("{v:.3}")` would emit the invalid tokens `NaN` / `inf`, so
+/// NaN is encoded as `null` (parsed back as NaN) and infinities clamp to
+/// `±f64::MAX`. Very large magnitudes use exponent notation to keep the
+/// token short.
+fn fmt_timing(v: f64) -> String {
+    if v.is_nan() {
+        return "null".to_string();
+    }
+    let clamped = if v.is_infinite() { f64::MAX.copysign(v) } else { v };
+    if clamped.abs() >= 1e15 {
+        format!("{clamped:e}")
+    } else {
+        format!("{clamped:.3}")
+    }
+}
+
 fn render_map<V>(
     out: &mut String,
     key: &str,
@@ -162,7 +185,7 @@ fn render_map<V>(
 }
 
 /// How [`diff`] compares two manifests.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DiffConfig {
     /// Maximum allowed ratio between baseline and current for timing
     /// fields present in both manifests. The default (1000×) only catches
@@ -171,11 +194,29 @@ pub struct DiffConfig {
     pub timing_tolerance: f64,
     /// Whether timings are compared at all.
     pub compare_timings: bool,
+    /// Per-key-prefix tolerance overrides (the perf-trajectory bands):
+    /// a timing key uses the ratio of the *longest* matching prefix here
+    /// instead of [`DiffConfig::timing_tolerance`]. Lets a gate hold
+    /// `span.atpg.*` to a tight band while leaving noisy per-worker keys
+    /// on the catastrophic-only default.
+    pub bands: Vec<(String, f64)>,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        Self { timing_tolerance: 1000.0, compare_timings: true }
+        Self { timing_tolerance: 1000.0, compare_timings: true, bands: Vec::new() }
+    }
+}
+
+impl DiffConfig {
+    /// The tolerance ratio applying to `key` (longest matching band
+    /// prefix, else the global default).
+    pub fn tolerance_for(&self, key: &str) -> f64 {
+        self.bands
+            .iter()
+            .filter(|(prefix, _)| key.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map_or(self.timing_tolerance, |&(_, ratio)| ratio)
     }
 }
 
@@ -198,14 +239,14 @@ pub fn diff(baseline: &Manifest, current: &Manifest, cfg: &DiffConfig) -> Vec<St
     if cfg.compare_timings {
         for (k, &b) in &baseline.timings {
             let Some(&c) = current.timings.get(k) else { continue };
-            if b.abs() < 1e-9 || c.abs() < 1e-9 {
+            if b.abs() < 1e-9 || c.abs() < 1e-9 || !b.is_finite() || !c.is_finite() {
                 continue;
             }
+            let tolerance = cfg.tolerance_for(k);
             let ratio = (c / b).abs();
-            if ratio > cfg.timing_tolerance || ratio < 1.0 / cfg.timing_tolerance {
+            if ratio > tolerance || ratio < 1.0 / tolerance {
                 errors.push(format!(
-                    "timing '{k}': {c:.3} outside tolerance band ({b:.3} ± {}x)",
-                    cfg.timing_tolerance
+                    "timing '{k}': {c:.3} outside tolerance band ({b:.3} ± {tolerance}x)"
                 ));
             }
         }
@@ -269,9 +310,19 @@ impl Run {
     }
 
     /// Snapshots the registry into a manifest. Total wall time lands in
-    /// `timings["run.wall_ms"]`.
+    /// `timings["run.wall_ms"]`; each span's volatile wall-time histogram
+    /// is summarised into `timings` as `span.<name>.ms_p50` / `.ms_p90` /
+    /// `.ms_max` (quantiles are bucket-interpolated, see [`crate::hist`]).
     pub fn finish(self) -> Manifest {
         crate::volatile_set("run.wall_ms", self.start.elapsed().as_secs_f64() * 1e3);
+        for (name, h) in crate::wall_hists() {
+            if h.is_empty() {
+                continue;
+            }
+            crate::volatile_set(&format!("span.{name}.ms_p50"), h.quantile(0.5) as f64 / 1e6);
+            crate::volatile_set(&format!("span.{name}.ms_p90"), h.quantile(0.9) as f64 / 1e6);
+            crate::volatile_set(&format!("span.{name}.ms_max"), h.max as f64 / 1e6);
+        }
         Manifest {
             schema: SCHEMA_VERSION,
             name: self.name,
@@ -341,11 +392,47 @@ mod tests {
         let base = sample();
         let mut cur = sample();
         cur.timings.insert("span.pdesign.wall_ms".to_string(), 12.5 * 4.0);
-        let cfg = DiffConfig { timing_tolerance: 10.0, compare_timings: true };
+        let cfg = DiffConfig { timing_tolerance: 10.0, ..DiffConfig::default() };
         assert!(diff(&base, &cur, &cfg).is_empty());
         cur.timings.insert("span.pdesign.wall_ms".to_string(), 12.5 * 100.0);
         assert_eq!(diff(&base, &cur, &cfg).len(), 1);
-        assert!(diff(&base, &cur, &DiffConfig { compare_timings: false, ..cfg }).is_empty());
+        assert!(diff(&base, &cur, &DiffConfig { compare_timings: false, ..cfg.clone() }).is_empty());
+    }
+
+    #[test]
+    fn diff_applies_longest_matching_band() {
+        let base = sample();
+        let mut cur = sample();
+        cur.timings.insert("span.pdesign.wall_ms".to_string(), 12.5 * 100.0);
+        let mut cfg = DiffConfig { timing_tolerance: 10.0, ..DiffConfig::default() };
+        assert_eq!(diff(&base, &cur, &cfg).len(), 1, "100x breaks the 10x default");
+        cfg.bands.push(("span.".to_string(), 5.0));
+        cfg.bands.push(("span.pdesign.".to_string(), 500.0));
+        assert_eq!(cfg.tolerance_for("span.pdesign.wall_ms"), 500.0);
+        assert_eq!(cfg.tolerance_for("span.atpg.wall_ms"), 5.0);
+        assert_eq!(cfg.tolerance_for("run.wall_ms"), 10.0);
+        assert!(diff(&base, &cur, &cfg).is_empty(), "the longest band prefix wins");
+    }
+
+    #[test]
+    fn non_finite_timings_serialise_as_valid_json() {
+        let mut m = sample();
+        m.timings.insert("rate.nan".to_string(), f64::NAN);
+        m.timings.insert("rate.pinf".to_string(), f64::INFINITY);
+        m.timings.insert("rate.ninf".to_string(), f64::NEG_INFINITY);
+        m.timings.insert("rate.huge".to_string(), 1e300);
+        let text = m.to_json();
+        // The raw text must parse as JSON at all (the original bug: `NaN`
+        // and `inf` tokens are not JSON).
+        crate::json::parse(&text).expect("manifest with non-finite timings is valid JSON");
+        let parsed = Manifest::parse(&text).unwrap();
+        assert!(parsed.timings.get("rate.nan").unwrap().is_nan());
+        assert_eq!(parsed.timings.get("rate.pinf"), Some(&f64::MAX));
+        assert_eq!(parsed.timings.get("rate.ninf"), Some(&f64::MIN));
+        let huge = *parsed.timings.get("rate.huge").unwrap();
+        assert!((huge / 1e300 - 1.0).abs() < 1e-9, "{huge}");
+        // Non-finite baselines never produce spurious diff errors.
+        assert!(diff(&parsed, &parsed, &DiffConfig::default()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Structured tracing: per-event timelines with thread attribution,
+//! exported as Chrome-trace JSON (`trace.json`) loadable in
+//! `ui.perfetto.dev` or `chrome://tracing`.
+//!
+//! # Model
+//!
+//! Tracing is off by default and costs one relaxed atomic load per span.
+//! [`start`] arms it; from then on every [`crate::Span`] drop — and every
+//! [`zone`] guard — appends one *complete event* (name, thread id, start
+//! offset, duration, optional numeric id) to a thread-local buffer.
+//! Buffers flush into a global event list when they fill, at
+//! [`crate::flush`] (worker closures call it as their last step, exactly
+//! as for metrics), on thread exit as a backstop, and at [`stop`], which
+//! disarms tracing and returns the collected [`Trace`].
+//!
+//! Parent/child nesting is not stored explicitly: complete events carry
+//! start + duration, and containment within one thread's timeline *is* the
+//! nesting — exactly how the Chrome trace viewer reconstructs flame
+//! graphs, and how `trace_report` rebuilds the attribution tree.
+//!
+//! # Zones vs spans
+//!
+//! A [`crate::span`] records counters + wall time *always* and a trace
+//! event when tracing is armed. A [`zone`] is trace-only: it exists for
+//! high-cardinality attribution (one event per fault, per resynthesis
+//! iteration, per backtracking group) where a deterministic counter per
+//! instance would be noise and a `String` key per instance would be an
+//! allocation. When tracing is off a zone is two atomic loads and no
+//! clock read.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One complete event: `name` ran on thread `tid` from `ts_ns` (offset
+/// from the trace anchor) for `dur_ns`, optionally labelled with a
+/// producer-chosen `id` (fault ordinal, iteration number, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (span or zone name).
+    pub name: &'static str,
+    /// Stable per-thread ordinal (1 = first thread to record).
+    pub tid: u64,
+    /// Start, in nanoseconds since the trace anchor.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Producer-chosen instance label (`args.id` in the export).
+    pub id: Option<u64>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// The instant all event timestamps are relative to, pinned by the first
+/// [`start`] and reused for the whole process lifetime so ts arithmetic
+/// never underflows.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+fn events() -> &'static Mutex<Vec<TraceEvent>> {
+    static EVENTS: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Thread-local event buffer; flushes on overflow and on thread exit.
+struct Buf {
+    tid: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl Buf {
+    fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut global = events().lock().unwrap_or_else(PoisonError::into_inner);
+        global.append(&mut self.events);
+    }
+}
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<Buf> = RefCell::new(Buf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        events: Vec::new(),
+    });
+}
+
+/// Cap on one thread's buffered events before a flush to the global list.
+const FLUSH_AT: usize = 4096;
+
+/// True when tracing is armed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arms tracing: clears previously collected events and pins the time
+/// anchor. Call it on the main thread before the traced region.
+pub fn start() {
+    let _ = anchor();
+    events().lock().unwrap_or_else(PoisonError::into_inner).clear();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms tracing and returns everything collected since [`start`].
+/// Flushes the calling thread's buffer; worker closures publish theirs via
+/// [`crate::flush`] before they return. Events are sorted by (thread,
+/// start, longest-first) so nesting reads top-down.
+pub fn stop() -> Trace {
+    ENABLED.store(false, Ordering::SeqCst);
+    flush_thread();
+    let mut collected =
+        std::mem::take(&mut *events().lock().unwrap_or_else(PoisonError::into_inner));
+    collected.sort_by(|a, b| {
+        (a.tid, a.ts_ns, std::cmp::Reverse(a.dur_ns), a.name).cmp(&(
+            b.tid,
+            b.ts_ns,
+            std::cmp::Reverse(b.dur_ns),
+            b.name,
+        ))
+    });
+    Trace { events: collected }
+}
+
+/// Flushes the calling thread's buffered trace events into the global
+/// list (part of [`crate::flush`]).
+pub(crate) fn flush_thread() {
+    let _ = BUF.try_with(|b| b.borrow_mut().flush());
+}
+
+/// Appends one complete event for a region that started at `start` and ran
+/// for `dur`. No-op unless tracing is armed.
+pub(crate) fn record_complete(name: &'static str, id: Option<u64>, start: Instant, dur: Duration) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns =
+        u64::try_from(start.saturating_duration_since(anchor()).as_nanos()).unwrap_or(u64::MAX);
+    let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+    let _ = BUF.try_with(|b| {
+        let mut buf = b.borrow_mut();
+        let tid = buf.tid;
+        buf.events.push(TraceEvent { name, tid, ts_ns, dur_ns, id });
+        if buf.events.len() >= FLUSH_AT {
+            buf.flush();
+        }
+    });
+}
+
+/// A trace-only timing guard (see the module docs). `id` labels the
+/// instance — fault ordinal, iteration number, group size — and lands in
+/// the exported event's `args.id`.
+#[must_use = "a zone times the scope it is bound to"]
+pub struct Zone(Option<(&'static str, u64, Instant)>);
+
+/// Opens a zone named `name` labelled `id`. Free when tracing is off.
+pub fn zone(name: &'static str, id: u64) -> Zone {
+    if enabled() {
+        Zone(Some((name, id, Instant::now())))
+    } else {
+        Zone(None)
+    }
+}
+
+impl Drop for Zone {
+    fn drop(&mut self) {
+        if let Some((name, id, start)) = self.0.take() {
+            record_complete(name, Some(id), start, start.elapsed());
+        }
+    }
+}
+
+/// A collected trace: every event recorded between [`start`] and [`stop`].
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Events sorted by (thread, start, longest-first).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The distinct thread ids present, ascending.
+    pub fn tids(&self) -> Vec<u64> {
+        let mut tids: Vec<u64> = self.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids
+    }
+
+    /// Serialises the trace in Chrome Trace Event Format (JSON object
+    /// form): one `"X"` (complete) event per span/zone with `ts`/`dur` in
+    /// microseconds, plus one `"M"` thread-name metadata event per thread.
+    /// The result loads directly in `ui.perfetto.dev`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for tid in self.tids() {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                if tid == 1 { "main".to_string() } else { format!("worker-{tid}") }
+            );
+        }
+        for e in &self.events {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"ts\":{:.3},\"dur\":{:.3}",
+                e.tid,
+                crate::json::escape(e.name),
+                e.ts_ns as f64 / 1e3,
+                e.dur_ns as f64 / 1e3,
+            );
+            if let Some(id) = e.id {
+                let _ = write!(out, ",\"args\":{{\"id\":{id}}}");
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Writes [`Trace::to_chrome_json`] to `path` (parent directories
+    /// created).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_chrome(&self, path: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_chrome_json())?;
+        Ok(path.to_path_buf())
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn spans_and_zones_record_only_while_armed() {
+        let _g = crate::isolation_lock();
+        crate::reset();
+        {
+            let _off = crate::span("trace.cold");
+            let _z = zone("trace.cold.zone", 1);
+        }
+        start();
+        {
+            let _s = crate::span("trace.hot");
+            let _z = zone("trace.hot.zone", 42);
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                {
+                    let _z = zone("trace.worker.zone", 7);
+                }
+                crate::flush();
+            });
+        });
+        let trace = stop();
+        let names: Vec<&str> = trace.events.iter().map(|e| e.name).collect();
+        assert!(!names.contains(&"trace.cold"), "{names:?}");
+        assert!(names.contains(&"trace.hot"), "{names:?}");
+        assert!(names.contains(&"trace.hot.zone"), "{names:?}");
+        assert!(names.contains(&"trace.worker.zone"), "{names:?}");
+        let worker = trace.events.iter().find(|e| e.name == "trace.worker.zone").unwrap();
+        let main = trace.events.iter().find(|e| e.name == "trace.hot").unwrap();
+        assert_ne!(worker.tid, main.tid, "worker events carry their own tid");
+        assert_eq!(worker.id, Some(7));
+        // Nothing records after stop().
+        {
+            let _z = zone("trace.after", 0);
+        }
+        assert!(stop().events.is_empty());
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_thread_metadata() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent { name: "outer", tid: 1, ts_ns: 1000, dur_ns: 9000, id: None },
+                TraceEvent { name: "inner", tid: 1, ts_ns: 2000, dur_ns: 3000, id: Some(5) },
+                TraceEvent { name: "w", tid: 2, ts_ns: 1500, dur_ns: 100, id: None },
+            ],
+        };
+        let text = trace.to_chrome_json();
+        let root = json::parse(&text).unwrap();
+        let events = root.get("traceEvents").unwrap();
+        let arr = match events {
+            json::Json::Arr(items) => items,
+            other => panic!("traceEvents is not an array: {other:?}"),
+        };
+        // 2 thread-name metadata events + 3 complete events.
+        assert_eq!(arr.len(), 5);
+        let meta: Vec<&json::Json> =
+            arr.iter().filter(|e| e.get("ph").and_then(json::Json::as_str) == Some("M")).collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[0].get("args").unwrap().get("name").and_then(json::Json::as_str),
+            Some("main")
+        );
+        let inner = arr
+            .iter()
+            .find(|e| e.get("name").and_then(json::Json::as_str) == Some("inner"))
+            .unwrap();
+        assert_eq!(inner.get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(inner.get("dur").unwrap().as_f64(), Some(3.0));
+        assert_eq!(inner.get("args").unwrap().get("id").unwrap().as_u64(), Some(5));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: arbitrary manifest-shaped documents round-trip through
+//! the JSON writer ([`Manifest::to_json`]) and reader
+//! ([`Manifest::parse`], built on `rsyn_observe::json::parse`) without
+//! loss — including keys and values full of quotes, escapes, control
+//! characters, and multi-byte UTF-8.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rsyn_observe::manifest::{diff, DiffConfig, Manifest, SCHEMA_VERSION};
+
+/// SplitMix64 — derives a whole document from one drawn seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A string stressing the escaper: every palette entry needs either
+/// escaping (`"`  `\` newline, tab, control chars) or multi-byte handling.
+fn nasty_string(state: &mut u64, ordinal: usize) -> String {
+    const PALETTE: [&str; 10] = ["a", "Z", "\"", "\\", "\n", "\t", "\r", "\u{1}", "é", "漢"];
+    let mut s = format!("k{ordinal}.");
+    for _ in 0..(mix(state) % 12) {
+        s.push_str(PALETTE[(mix(state) % PALETTE.len() as u64) as usize]);
+    }
+    s
+}
+
+/// A timing value that survives the writer's fixed 3-decimal format:
+/// an exact multiple of 0.001 within ±1e9 (the f64 nearest to `k/1000`
+/// re-parses from its 3-decimal rendering bit-identically).
+fn timing_value(state: &mut u64) -> f64 {
+    let k = (mix(state) % 2_000_000_000_000) as i64 - 1_000_000_000_000;
+    k as f64 / 1000.0
+}
+
+fn document(seed: u64, n_counters: usize, n_results: usize, n_timings: usize) -> Manifest {
+    let mut state = seed;
+    let mut counters = BTreeMap::new();
+    for i in 0..n_counters {
+        // Bias towards the extremes: u64::MAX must round-trip exactly
+        // (the reason the JSON reader keeps numbers as raw text).
+        let v = match mix(&mut state) % 4 {
+            0 => u64::MAX - mix(&mut state) % 3,
+            1 => 0,
+            _ => mix(&mut state),
+        };
+        counters.insert(nasty_string(&mut state, i), v);
+    }
+    let mut results = BTreeMap::new();
+    for i in 0..n_results {
+        let v = nasty_string(&mut state, usize::MAX - i);
+        results.insert(nasty_string(&mut state, n_counters + i), v);
+    }
+    let mut timings = BTreeMap::new();
+    for i in 0..n_timings {
+        let v = timing_value(&mut state);
+        timings.insert(nasty_string(&mut state, n_counters + n_results + i), v);
+    }
+    Manifest {
+        schema: SCHEMA_VERSION,
+        name: nasty_string(&mut state, 0),
+        seed: mix(&mut state),
+        counters,
+        results,
+        timings,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Writer → reader is the identity on manifest-shaped documents.
+    #[test]
+    fn manifest_json_round_trips(
+        seed in any::<u64>(),
+        n_counters in 0usize..10,
+        n_results in 0usize..6,
+        n_timings in 0usize..6,
+    ) {
+        let m = document(seed, n_counters, n_results, n_timings);
+        let parsed = Manifest::parse(&m.to_json()).expect("writer output parses");
+        prop_assert_eq!(&parsed, &m);
+        // A round-tripped manifest diffs clean against its source.
+        prop_assert!(diff(&m, &parsed, &DiffConfig::default()).is_empty());
+    }
+
+    /// The stable rendering is exactly the full rendering minus `timings`:
+    /// parsing it recovers every deterministic field and nothing volatile.
+    #[test]
+    fn stable_json_drops_exactly_the_timings(
+        seed in any::<u64>(),
+        n_counters in 0usize..10,
+        n_timings in 1usize..6,
+    ) {
+        let m = document(seed, n_counters, 3, n_timings);
+        let stable = Manifest::parse(&m.stable_json()).expect("stable output parses");
+        prop_assert!(stable.timings.is_empty());
+        prop_assert_eq!(&stable.counters, &m.counters);
+        prop_assert_eq!(&stable.results, &m.results);
+        prop_assert_eq!(&stable.name, &m.name);
+        prop_assert_eq!(stable.seed, m.seed);
+        // And the stable bytes are independent of the timing values.
+        let mut retimed = m.clone();
+        for v in retimed.timings.values_mut() {
+            *v += 1.0;
+        }
+        prop_assert_eq!(m.stable_json(), retimed.stable_json());
+    }
+}

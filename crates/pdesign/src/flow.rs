@@ -73,6 +73,7 @@ pub fn physical_design_in(
         // An injected rejection mimics the floorplan running out of sites.
         return Err(PlaceError::AreaExceeded { needed_sites: nl.gate_count(), free_sites: 0 });
     }
+    let place_span = rsyn_observe::span("pdesign.place");
     let placement = match previous {
         Some(prev) => {
             let mut p = prev.clone();
@@ -81,13 +82,23 @@ pub fn physical_design_in(
         }
         None => Placement::global(nl, floorplan, seed)?,
     };
-    let layout = route(nl, &placement);
+    drop(place_span);
+    let layout = {
+        let _s = rsyn_observe::span("pdesign.route");
+        route(nl, &placement)
+    };
     let view = nl.comb_view().expect("acyclic netlist");
-    let mut timing = analyze(nl, &view, &layout);
+    let mut timing = {
+        let _s = rsyn_observe::span("pdesign.timing");
+        analyze(nl, &view, &layout)
+    };
     if let PdesignFate::InflateDelay { percent } = fate {
         timing.critical_delay_ps *= percent as f64 / 100.0;
     }
-    let power = estimate(nl, &view, &layout, seed ^ 0x9E37_79B9_7F4A_7C15);
+    let power = {
+        let _s = rsyn_observe::span("pdesign.power");
+        estimate(nl, &view, &layout, seed ^ 0x9E37_79B9_7F4A_7C15)
+    };
     Ok(PhysicalDesign { placement, layout, timing, power })
 }
 

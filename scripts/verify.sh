@@ -64,4 +64,22 @@ done
 "$CHECK" --determinism "$SMOKE_DIR/cm/manifest-resilience.json" \
   "$SMOKE_DIR/rm/manifest-resilience.json"
 
+echo "== perf-trajectory gate (structured tracing + BENCH_flow regression bands)"
+# A traced flow run must emit a non-empty Chrome trace, its BENCH_flow.json
+# deterministic section (counters, histograms, results) must be
+# byte-identical across worker counts, and the single-thread manifest must
+# stay inside the regression bands of the checked-in trajectory baseline:
+# exact on counters/results, a 200x band on span wall times (generous —
+# CI machines vary wildly; tighten to catch structural regressions only),
+# catastrophic-only 1000x on everything else volatile.
+TRACE=target/release/trace_report
+"$TRACE" --threads 1 --out "$SMOKE_DIR/f1" sparc_tlu >/dev/null
+"$TRACE" --threads 4 --out "$SMOKE_DIR/f4" sparc_tlu >/dev/null
+"$CHECK" --determinism "$SMOKE_DIR/f1/BENCH_flow.json" "$SMOKE_DIR/f4/BENCH_flow.json"
+for t in "$SMOKE_DIR"/f1/trace.json "$SMOKE_DIR"/f4/trace.json; do
+  grep -q '"ph":"X"' "$t" || { echo "perf gate FAILED: $t has no complete events"; exit 1; }
+done
+"$CHECK" --timing-tolerance 1000 --band span.=200 --band run.wall_ms=200 \
+  results/baselines/BENCH_flow.json "$SMOKE_DIR/f1/BENCH_flow.json"
+
 echo "verify: OK"
