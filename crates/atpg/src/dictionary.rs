@@ -5,11 +5,11 @@
 //! module builds the pass/fail dictionary for a test set and provides the
 //! matching query used in such volume-diagnosis flows.
 
-use rsyn_netlist::{CombView, Netlist};
+use rsyn_netlist::{CombView, Netlist, LANE_WORDS};
 
 use crate::fault::Fault;
 use crate::sim::FaultSim;
-use crate::testset::TestSet;
+use crate::testset::{window_mask, window_offsets, TestSet};
 
 /// A per-fault detection signature over a test set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,25 +29,22 @@ impl FaultDictionary {
             return Self { signatures, tests: 0 };
         }
         let mut sim = FaultSim::new(nl, view);
-        let mut offset = 0usize;
-        loop {
-            let lanes = tests.lanes(offset, view.pis.len());
+        for windows in window_offsets(tests.len()).chunks(LANE_WORDS) {
+            let lanes = tests.lane_blocks(windows, view.pis.len());
             sim.set_patterns(&lanes);
-            let valid = (tests.len() - offset).min(64);
-            let mask = if valid >= 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            let mask = window_mask(windows, tests.len());
             for (fi, fault) in faults.iter().enumerate() {
-                let mut det = sim.detect_lanes(fault) & mask;
-                while det != 0 {
-                    let lane = det.trailing_zeros() as usize;
-                    det &= det - 1;
-                    let ti = offset + lane;
-                    signatures[fi][ti / 64] |= 1 << (ti % 64);
+                let det = sim.detect_lanes(fault) & mask;
+                for (j, &offset) in windows.iter().enumerate() {
+                    let mut bits = det.word(j);
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let ti = offset + lane;
+                        signatures[fi][ti / 64] |= 1 << (ti % 64);
+                    }
                 }
             }
-            if offset + 64 >= tests.len() {
-                break;
-            }
-            offset += 63;
         }
         Self { signatures, tests: tests.len() }
     }

@@ -30,18 +30,18 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rsyn_netlist::{CombView, Netlist};
+use rsyn_netlist::{CombView, LaneBlock, Netlist, SimArena, LANES, LANE_WORDS};
 use rsyn_resilience::inject;
 use rsyn_resilience::EscalationPolicy;
 
 use crate::fault::{Fault, FaultKind, FaultStatus};
 use crate::podem::{Podem, PodemOutcome, Target};
 use crate::sim::FaultSim;
-use crate::testset::{Pattern, TestSet};
+use crate::testset::{window_mask, window_offsets, Pattern, TestSet};
 
 /// Options controlling the ATPG run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -157,34 +157,28 @@ pub fn targets_of(fault: &Fault) -> Vec<Target> {
 }
 
 /// Checks which faults the given test set detects (overlapping 64-lane
-/// windows preserve transition-fault pattern pairs). Used by the engine's
-/// own compaction invariants and exposed for cross-checking in tests.
+/// windows preserve transition-fault pattern pairs; four windows ride in
+/// each 256-lane simulation call). Used by the engine's own compaction
+/// invariants and exposed for cross-checking in tests.
 pub fn covers(nl: &Netlist, view: &CombView, faults: &[Fault], tests: &TestSet) -> Vec<bool> {
     let mut covered = vec![false; faults.len()];
     if tests.is_empty() {
         return covered;
     }
     let mut sim = FaultSim::new(nl, view);
-    let mut offset = 0usize;
-    loop {
-        let lanes = tests.lanes(offset, view.pis.len());
+    for windows in window_offsets(tests.len()).chunks(LANE_WORDS) {
+        let lanes = tests.lane_blocks(windows, view.pis.len());
         sim.set_patterns(&lanes);
+        // Only count lanes that map to real test indices.
+        let mask = window_mask(windows, tests.len());
         for (fi, fault) in faults.iter().enumerate() {
             if covered[fi] {
                 continue;
             }
-            let det = sim.detect_lanes(fault);
-            // Only count lanes that map to real test indices.
-            let valid = (tests.len() - offset).min(64);
-            let mask = if valid >= 64 { u64::MAX } else { (1u64 << valid) - 1 };
-            if det & mask != 0 {
+            if (sim.detect_lanes(fault) & mask).any() {
                 covered[fi] = true;
             }
         }
-        if offset + 64 >= tests.len() {
-            break;
-        }
-        offset += 63;
     }
     covered
 }
@@ -241,6 +235,12 @@ pub fn run_atpg(
 ) -> AtpgResult {
     let _span = rsyn_observe::span("atpg.run");
     let run_ordinal = inject::next_atpg_run();
+    // One flat simulation arena per run, shared read-only by every shard's
+    // fault simulator (volatile span: timing only, no deterministic counter).
+    let arena = {
+        let _build = rsyn_observe::span_volatile("sim.build");
+        Arc::new(SimArena::build(nl, view))
+    };
     let spans = shard_spans(faults.len());
     let mut parts: Vec<Option<ShardPart>> = Vec::new();
     let workers = options.effective_threads().min(spans.len()).max(1);
@@ -250,6 +250,7 @@ pub fn run_atpg(
             parts.push(Some(run_shard_resilient(
                 nl,
                 view,
+                &arena,
                 &faults[span.clone()],
                 options,
                 ShardIdentity { index: i, base_fault: span.start, run_ordinal },
@@ -264,6 +265,7 @@ pub fn run_atpg(
             let spans = &spans;
             let slots = &slots;
             let next = &next;
+            let arena = &arena;
             for w in 0..workers {
                 scope.spawn(move || {
                     let t0 = std::time::Instant::now();
@@ -274,6 +276,7 @@ pub fn run_atpg(
                         let part = run_shard_resilient(
                             nl,
                             view,
+                            arena,
                             &faults[span.clone()],
                             options,
                             ShardIdentity { index: i, base_fault: span.start, run_ordinal },
@@ -314,7 +317,7 @@ pub fn run_atpg(
     // --- compaction -----------------------------------------------------------------
     if options.compact && !tests.is_empty() {
         let _span = rsyn_observe::span("atpg.compact");
-        compact(nl, view, faults, &statuses, &mut tests);
+        compact_with_arena(&arena, view, faults, &statuses, &mut tests);
     }
 
     rsyn_observe::add_many(&[
@@ -345,6 +348,7 @@ struct ShardIdentity {
 fn run_shard_resilient(
     nl: &Netlist,
     view: &CombView,
+    arena: &Arc<SimArena>,
     faults: &[Fault],
     options: &AtpgOptions,
     id: ShardIdentity,
@@ -353,7 +357,7 @@ fn run_shard_resilient(
         let injected = attempt == 0 && inject::should_fail_shard(id.run_ordinal, id.index as u64);
         if !injected {
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                run_shard(nl, view, faults, options, id)
+                run_shard(nl, view, arena, faults, options, id)
             }));
             match outcome {
                 Ok(part) => return part,
@@ -379,7 +383,7 @@ fn run_shard_resilient(
 #[allow(clippy::too_many_arguments)]
 fn attempt_fault(
     podem: &mut Podem<'_>,
-    sim: &mut FaultSim<'_>,
+    sim: &mut FaultSim<u64>,
     tests: &mut TestSet,
     drop_buffer: &mut Vec<Pattern>,
     fault: &Fault,
@@ -391,7 +395,14 @@ fn attempt_fault(
     // whose behaviour falls outside the combinational single-fault
     // semantics, such as feedback bridges — is reported as aborted, never
     // as undetectable.
-    let confirm = |sim: &mut FaultSim<'_>, fault: &Fault, pair: &[&Pattern]| -> bool {
+    //
+    // A confirm loads at most two patterns but pays a full-design
+    // good-machine sweep, so it runs at the narrow `u64` width: a 256-lane
+    // block would quadruple the dominant cost to fill lanes that carry
+    // nothing. Detection bits are identical at any width (each 64-lane
+    // word is an independent simulation).
+    let confirm = |sim: &mut FaultSim<u64>, fault: &Fault, pair: &[&Pattern]| -> bool {
+        let _t = rsyn_observe::span_volatile("sim.confirm");
         let mut lanes = vec![0u64; npis];
         for (k, p) in pair.iter().enumerate() {
             for (i, lane) in lanes.iter_mut().enumerate() {
@@ -401,8 +412,7 @@ fn attempt_fault(
             }
         }
         sim.set_patterns(&lanes);
-        let det = sim.detect_lanes(fault);
-        det & ((1 << pair.len()) - 1) != 0
+        sim.detect_lanes(fault) & ((1u64 << pair.len()) - 1) != 0
     };
     let mut any_aborted = false;
     let mut detected = false;
@@ -450,6 +460,7 @@ fn attempt_fault(
 fn run_shard(
     nl: &Netlist,
     view: &CombView,
+    arena: &Arc<SimArena>,
     faults: &[Fault],
     options: &AtpgOptions,
     id: ShardIdentity,
@@ -458,38 +469,59 @@ fn run_shard(
     let seed = shard_seed(options.seed, id.index as u64);
     let mut statuses = vec![FaultStatus::Undetected; faults.len()];
     let mut tests = TestSet::new();
-    let mut sim = FaultSim::new(nl, view);
+    // Wide (256-lane) simulator for the batch random phase; a separate
+    // narrow (64-lane) one for the PODEM phase, whose confirm/drop calls
+    // only ever load a handful of patterns at a time.
+    let mut sim: FaultSim = FaultSim::with_arena(Arc::clone(arena));
+    let mut narrow_sim: FaultSim<u64> = FaultSim::with_arena(Arc::clone(arena));
     let npis = view.pis.len();
 
     // --- random phase ---------------------------------------------------------
     let random_span = rsyn_observe::span("atpg.random");
     let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..options.random_words {
-        let lanes: Vec<u64> = (0..npis).map(|_| rng.gen()).collect();
-        sim.set_patterns(&lanes);
+    let mut remaining = options.random_words;
+    while remaining > 0 {
+        // Up to four 64-pattern words ride in one 256-lane block. Word-major
+        // draws keep the RNG stream identical to the historical
+        // one-word-per-call loop, and the word-major lane order below keeps
+        // detection lanes and pattern emission byte-identical to it.
+        let nw = remaining.min(LANE_WORDS);
+        remaining -= nw;
+        let mut lanes = vec![LaneBlock::ZERO; npis];
+        for j in 0..nw {
+            for lane in lanes.iter_mut() {
+                lane.set_word(j, rng.gen());
+            }
+        }
+        {
+            let _good = rsyn_observe::span_volatile("sim.good");
+            sim.set_patterns(&lanes);
+        }
+        let valid = LaneBlock::mask_words(nw);
         let mut used_lanes: Vec<(usize, bool)> = Vec::new(); // (lane, needs predecessor)
         for (fi, fault) in faults.iter().enumerate() {
             if statuses[fi] != FaultStatus::Undetected {
                 continue;
             }
-            let det = sim.detect_lanes(fault);
-            if det != 0 {
+            let det = sim.detect_lanes(fault) & valid;
+            if let Some(lane) = det.first_lane() {
                 statuses[fi] = FaultStatus::Detected;
-                let lane = det.trailing_zeros() as usize;
                 used_lanes.push((lane, matches!(fault.kind, FaultKind::Transition { .. })));
             }
         }
         // Emit the union of detecting lanes (plus each transition launch's
-        // predecessor) in ascending lane order, so initialisation patterns
-        // always precede their launch patterns in the test set.
-        let mut emit = [false; 64];
+        // predecessor — always within the same 64-lane word, since word
+        // boundaries start fresh launch sequences) in ascending word-major
+        // lane order, so initialisation patterns always precede their
+        // launch patterns in the test set.
+        let mut emit = [false; LANES];
         for (lane, needs_pred) in used_lanes {
             emit[lane] = true;
-            if needs_pred && lane > 0 {
+            if needs_pred && lane % 64 > 0 {
                 emit[lane - 1] = true;
             }
         }
-        for (lane, &e) in emit.iter().enumerate() {
+        for (lane, &e) in emit.iter().enumerate().take(nw * 64) {
             if e {
                 tests.push(lane_pattern(&lanes, lane, npis));
             }
@@ -530,7 +562,7 @@ fn run_shard(
         let (mut detected, mut any_aborted) = if injected {
             (false, true)
         } else {
-            attempt_fault(&mut podem, &mut sim, &mut tests, &mut drop_buffer, fault, npis)
+            attempt_fault(&mut podem, &mut narrow_sim, &mut tests, &mut drop_buffer, fault, npis)
         };
 
         // Abort escalation: retry the whole fault with geometrically
@@ -540,8 +572,14 @@ fn run_shard(
             for &limit in &escalated {
                 abort_retries += 1;
                 let mut esc = Podem::new(nl, view, limit as usize);
-                let (d, a) =
-                    attempt_fault(&mut esc, &mut sim, &mut tests, &mut drop_buffer, fault, npis);
+                let (d, a) = attempt_fault(
+                    &mut esc,
+                    &mut narrow_sim,
+                    &mut tests,
+                    &mut drop_buffer,
+                    fault,
+                    npis,
+                );
                 escalation_backtracks += esc.backtracks();
                 escalation_decisions += esc.decisions();
                 fault_backtracks += esc.backtracks();
@@ -572,12 +610,12 @@ fn run_shard(
 
         // Periodically fault-drop with the freshly generated patterns.
         if drop_buffer.len() >= 64 || (detected && drop_buffer.len() >= 32) {
-            drop_faults(&mut sim, faults, &mut statuses, &drop_buffer, npis);
+            drop_faults(&mut narrow_sim, faults, &mut statuses, &drop_buffer, npis);
             drop_buffer.clear();
         }
     }
     if !drop_buffer.is_empty() {
-        drop_faults(&mut sim, faults, &mut statuses, &drop_buffer, npis);
+        drop_faults(&mut narrow_sim, faults, &mut statuses, &drop_buffer, npis);
     }
     drop(podem_span);
 
@@ -600,41 +638,43 @@ fn run_shard(
     ShardPart { statuses, tests }
 }
 
-fn lane_pattern(lanes: &[u64], lane: usize, npis: usize) -> Pattern {
+fn lane_pattern(lanes: &[LaneBlock], lane: usize, npis: usize) -> Pattern {
     let mut p = Pattern::zeros(npis);
-    for (i, &w) in lanes.iter().enumerate() {
-        p.set(i, (w >> lane) & 1 == 1);
+    for (i, w) in lanes.iter().enumerate() {
+        p.set(i, w.lane(lane));
     }
     p
 }
 
 fn drop_faults(
-    sim: &mut FaultSim<'_>,
+    sim: &mut FaultSim<u64>,
     faults: &[Fault],
     statuses: &mut [FaultStatus],
     patterns: &[Pattern],
     npis: usize,
 ) {
+    // Drop batches are small (the buffer flushes at 64 patterns), so this
+    // runs at the narrow width: patterns group into 64-pattern words
+    // exactly as in the historical loop, and a partially filled word costs
+    // one sweep instead of a four-word block.
+    let _t = rsyn_observe::span_volatile("sim.drop");
     for chunk in patterns.chunks(64) {
         let mut lanes = vec![0u64; npis];
-        for (k, p) in chunk.iter().enumerate() {
-            for (i, lane) in lanes.iter_mut().enumerate() {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let mut w = 0u64;
+            for (k, p) in chunk.iter().enumerate() {
                 if p.get(i) {
-                    *lane |= 1 << k;
+                    w |= 1 << k;
                 }
             }
-        }
-        // Replicate the last pattern into unused lanes so transition
-        // sequencing stays within the chunk.
-        if chunk.len() < 64 {
-            let last = chunk.len() - 1;
-            for (i, lane) in lanes.iter_mut().enumerate() {
-                if chunk[last].get(i) {
-                    for k in chunk.len()..64 {
-                        *lane |= 1 << k;
-                    }
+            // Replicate the last pattern into the word's unused lanes so
+            // transition sequencing stays within the chunk.
+            if chunk.len() < 64 && chunk[chunk.len() - 1].get(i) {
+                for k in chunk.len()..64 {
+                    w |= 1 << k;
                 }
             }
+            *lane = w;
         }
         sim.set_patterns(&lanes);
         for (fi, fault) in faults.iter().enumerate() {
@@ -658,6 +698,18 @@ pub(crate) fn compact(
     statuses: &[FaultStatus],
     tests: &mut TestSet,
 ) {
+    let arena = Arc::new(SimArena::build(nl, view));
+    compact_with_arena(&arena, view, faults, statuses, tests);
+}
+
+/// [`compact`] over a prebuilt (possibly shared) arena.
+fn compact_with_arena(
+    arena: &Arc<SimArena>,
+    view: &CombView,
+    faults: &[Fault],
+    statuses: &[FaultStatus],
+    tests: &mut TestSet,
+) {
     let npis = view.pis.len();
     let detected: Vec<usize> = statuses
         .iter()
@@ -671,30 +723,32 @@ pub(crate) fn compact(
     }
     // Detection lists per test: test index -> fault indices it detects.
     // Windows advance by 63 so that every consecutive pattern pair sits
-    // fully inside some window (transition faults need their predecessor).
-    let mut sim = FaultSim::new(nl, view);
+    // fully inside some window (transition faults need their predecessor);
+    // four windows ride in each 256-lane simulation call. Per-test push
+    // order matches the historical one-window loop because every detection
+    // at a test surfaces in the first window containing it (a window-k+1
+    // lane-0 detection is either alignment-independent or, for transition
+    // faults, masked as having no predecessor).
+    let mut sim = FaultSim::with_arena(Arc::clone(arena));
     let n_tests = tests.len();
     let mut detects_by_test: Vec<Vec<usize>> = vec![Vec::new(); n_tests];
-    let mut offset = 0usize;
-    loop {
-        let lanes = tests.lanes(offset, npis);
+    for windows in window_offsets(n_tests).chunks(LANE_WORDS) {
+        let lanes = tests.lane_blocks(windows, npis);
         sim.set_patterns(&lanes);
         for &fi in &detected {
             let det = sim.detect_lanes(&faults[fi]);
-            let mut bits = det;
-            while bits != 0 {
-                let lane = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let ti = offset + lane;
-                if ti < n_tests && !detects_by_test[ti].contains(&fi) {
-                    detects_by_test[ti].push(fi);
+            for (j, &offset) in windows.iter().enumerate() {
+                let mut bits = det.word(j);
+                while bits != 0 {
+                    let lane = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let ti = offset + lane;
+                    if ti < n_tests && !detects_by_test[ti].contains(&fi) {
+                        detects_by_test[ti].push(fi);
+                    }
                 }
             }
         }
-        if offset + 64 >= n_tests {
-            break;
-        }
-        offset += 63;
     }
     let mut needed: Vec<bool> = vec![false; faults.len()];
     for &fi in &detected {

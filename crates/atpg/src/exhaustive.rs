@@ -6,7 +6,7 @@
 //! exactly that). Transition faults are checked over every *ordered pair*
 //! of patterns via the lane-sequence trick.
 
-use rsyn_netlist::{CombView, Netlist};
+use rsyn_netlist::{CombView, LaneBlock, Netlist, LANES, LANE_WORDS};
 
 use crate::fault::{Fault, FaultKind};
 use crate::sim::FaultSim;
@@ -28,73 +28,88 @@ pub fn exhaustive_detectable(nl: &Netlist, view: &CombView, fault: &Fault) -> Op
     let total: u64 = 1 << n;
     let is_transition = matches!(fault.kind, FaultKind::Transition { .. });
 
-    // Static faults: enumerate patterns 64 at a time.
+    // Static faults: enumerate patterns 256 at a time.
     if !is_transition {
         let mut base = 0u64;
         while base < total {
-            let lanes: Vec<u64> = (0..n)
+            let lanes: Vec<LaneBlock> = (0..n)
                 .map(|i| {
-                    let mut w = 0u64;
-                    for k in 0..64u64 {
+                    let mut b = LaneBlock::ZERO;
+                    for k in 0..LANES as u64 {
+                        if base + k >= total {
+                            break;
+                        }
                         if ((base + k) >> i) & 1 == 1 {
-                            w |= 1 << k;
+                            b.set_lane(k as usize, true);
                         }
                     }
-                    w
+                    b
                 })
                 .collect();
             sim.set_patterns(&lanes);
             let mut det = sim.detect_lanes(fault);
             // Mask lanes beyond the pattern space.
-            if base + 64 > total {
-                det &= (1u64 << (total - base)) - 1;
+            if base + LANES as u64 > total {
+                det &= LaneBlock::mask_lanes((total - base) as usize);
             }
-            if det != 0 {
+            if det.any() {
                 return Some(true);
             }
-            base += 64;
+            base += LANES as u64;
         }
         return Some(false);
     }
 
     // Transition faults need an initialisation pattern followed by the
     // launch pattern. Enumerate all ordered pairs (init, launch) by packing
-    // 32 pairs per word: lanes 2k = init, 2k+1 = launch; only odd-lane
-    // detections count (they have the right predecessor).
-    let odd_lanes = 0xAAAA_AAAA_AAAA_AAAAu64;
+    // 32 pairs per word (128 per block): lanes 2k = init, 2k+1 = launch
+    // within each word; only odd-lane detections count (they have the
+    // right predecessor, and launch shifts never cross word boundaries).
+    const PAIRS_PER_WORD: u64 = 32;
+    let pairs_per_block = PAIRS_PER_WORD * LANE_WORDS as u64;
+    let odd_lanes = LaneBlock::from_words([0xAAAA_AAAA_AAAA_AAAA; LANE_WORDS]);
     let mut pair = 0u64; // pair index = init * total + launch
     let pairs = total * total;
     while pair < pairs {
-        let lanes: Vec<u64> = (0..n)
+        let lanes: Vec<LaneBlock> = (0..n)
             .map(|i| {
-                let mut w = 0u64;
-                for k in 0..32u64 {
-                    let p = pair + k;
-                    if p >= pairs {
-                        break;
+                let mut b = LaneBlock::ZERO;
+                for j in 0..LANE_WORDS as u64 {
+                    let mut w = 0u64;
+                    for k in 0..PAIRS_PER_WORD {
+                        let p = pair + j * PAIRS_PER_WORD + k;
+                        if p >= pairs {
+                            break;
+                        }
+                        let init = p / total;
+                        let launch = p % total;
+                        if (init >> i) & 1 == 1 {
+                            w |= 1 << (2 * k);
+                        }
+                        if (launch >> i) & 1 == 1 {
+                            w |= 1 << (2 * k + 1);
+                        }
                     }
-                    let init = p / total;
-                    let launch = p % total;
-                    if (init >> i) & 1 == 1 {
-                        w |= 1 << (2 * k);
-                    }
-                    if (launch >> i) & 1 == 1 {
-                        w |= 1 << (2 * k + 1);
-                    }
+                    b.set_word(j as usize, w);
                 }
-                w
+                b
             })
             .collect();
         sim.set_patterns(&lanes);
         let mut det = sim.detect_lanes(fault) & odd_lanes;
-        if pair + 32 > pairs {
-            let valid = pairs - pair;
-            det &= (1u64 << (2 * valid)) - 1;
+        if pair + pairs_per_block > pairs {
+            let mut valid_mask = LaneBlock::ZERO;
+            for j in 0..LANE_WORDS as u64 {
+                let valid = pairs.saturating_sub(pair + j * PAIRS_PER_WORD).min(PAIRS_PER_WORD);
+                let w = if valid >= PAIRS_PER_WORD { u64::MAX } else { (1u64 << (2 * valid)) - 1 };
+                valid_mask.set_word(j as usize, w);
+            }
+            det &= valid_mask;
         }
-        if det != 0 {
+        if det.any() {
             return Some(true);
         }
-        pair += 32;
+        pair += pairs_per_block;
     }
     Some(false)
 }

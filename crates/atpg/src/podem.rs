@@ -681,11 +681,12 @@ mod tests {
         let good = simulate_one(nl, &view, &pis);
         // Faulty machine via FaultSim.
         let mut fs = crate::sim::FaultSim::new(nl, &view);
-        let lanes: Vec<u64> = pis.iter().map(|&b| u64::from(b)).collect();
+        let lanes: Vec<rsyn_netlist::LaneBlock> =
+            pis.iter().map(|&b| rsyn_netlist::LaneBlock::from_word(u64::from(b))).collect();
         fs.set_patterns(&lanes);
         let f = crate::fault::Fault::external(crate::fault::FaultKind::StuckAt { net, value }, 0);
         let det = fs.detect_lanes(&f);
-        assert_eq!(det & 1, 1, "generated pattern {good:?} fails to detect");
+        assert!(det.lane(0), "generated pattern {good:?} fails to detect");
     }
 
     #[test]

@@ -1,132 +1,134 @@
-//! 64-lane parallel fault simulation with cone-limited event propagation.
+//! 256-lane parallel fault simulation with cone-limited event propagation.
 //!
-//! For each fault, only the fanout cone of the fault site is re-evaluated
-//! (event-driven over the topological order); epoch stamping avoids clearing
-//! state between faults. One call simulates a fault against 64 patterns.
+//! For each fault, only the fanout cone of the fault site is re-evaluated.
+//! The simulator runs on the flat [`SimArena`]: events are op indices pushed
+//! into reusable per-level worklists and drained in one ascending level
+//! sweep (an op's inputs come only from strictly lower levels, so the sweep
+//! is a valid topological order — no priority queue). Epoch stamping avoids
+//! clearing state between faults, and the hot loop performs no heap
+//! allocation: gate inputs are gathered into a fixed stack array and the
+//! worklist vectors are recycled across calls.
+//!
+//! The simulator is generic over the lane width ([`SimWord`]): the batch
+//! phases (random patterns, compaction, coverage checks) run 256 patterns
+//! per call ([`LaneBlock`]), while call sites that only ever load a pattern
+//! or two (PODEM detection confirmation, fault dropping against freshly
+//! generated tests) run the one-word `u64` width and skip three quarters of
+//! the good-machine work. Each 64-lane word is an independent simulation
+//! (see the determinism contract in `rsyn_netlist::lanes`), so the widths
+//! are bit-interchangeable.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-use rsyn_netlist::{CombView, Driver, GateId, NetId, Netlist};
+use rsyn_netlist::arena::{eval_cell, SimArena};
+use rsyn_netlist::tt::MAX_TT_INPUTS;
+use rsyn_netlist::{CombView, LaneBlock, NetId, Netlist, SimWord};
 
 use crate::fault::{BridgeKind, Fault, FaultKind};
 
-/// A reusable fault simulator bound to one netlist + view.
+/// A reusable fault simulator bound to one netlist + view, generic over
+/// the lane width `W` (default: the 256-lane [`LaneBlock`]; use `u64` for
+/// call sites that simulate only a handful of patterns per call).
 #[derive(Debug)]
-pub struct FaultSim<'a> {
-    nl: &'a Netlist,
-    view: &'a CombView,
-    /// Topological position per gate arena index (`usize::MAX` = not comb).
-    order_pos: Vec<usize>,
-    good: Vec<u64>,
-    faulty: Vec<u64>,
+pub struct FaultSim<W: SimWord = LaneBlock> {
+    arena: Arc<SimArena>,
+    good: Vec<W>,
+    faulty: Vec<W>,
     net_stamp: Vec<u32>,
-    gate_stamp: Vec<u32>,
+    op_stamp: Vec<u32>,
     epoch: u32,
+    /// Reusable per-level op worklists (all empty between calls).
+    level_queue: Vec<Vec<u32>>,
 }
 
-impl<'a> FaultSim<'a> {
-    /// Creates a simulator. Call [`FaultSim::set_patterns`] before
-    /// simulating faults.
-    pub fn new(nl: &'a Netlist, view: &'a CombView) -> Self {
-        let mut order_pos = vec![usize::MAX; nl.gate_capacity()];
-        for (pos, &g) in view.order.iter().enumerate() {
-            order_pos[g.index()] = pos;
-        }
+impl<W: SimWord> FaultSim<W> {
+    /// Creates a simulator, building a fresh arena for the view. Call
+    /// [`FaultSim::set_patterns`] before simulating faults.
+    pub fn new(nl: &Netlist, view: &CombView) -> Self {
+        Self::with_arena(Arc::new(SimArena::build(nl, view)))
+    }
+
+    /// Creates a simulator over an existing (possibly shared) arena.
+    pub fn with_arena(arena: Arc<SimArena>) -> Self {
+        let nets = arena.net_count();
+        let ops = arena.op_count();
+        let levels = arena.level_count();
         Self {
-            nl,
-            view,
-            order_pos,
-            good: vec![0; nl.net_count()],
-            faulty: vec![0; nl.net_count()],
-            net_stamp: vec![0; nl.net_count()],
-            gate_stamp: vec![0; nl.gate_capacity()],
+            arena,
+            good: vec![W::ZERO; nets],
+            faulty: vec![W::ZERO; nets],
+            net_stamp: vec![0; nets],
+            op_stamp: vec![0; ops],
             epoch: 0,
+            level_queue: vec![Vec::new(); levels],
         }
     }
 
-    /// Loads 64 patterns (`lanes[i]` = values of `view.pis[i]`) and runs the
-    /// good-machine simulation.
+    /// The underlying arena.
+    #[inline]
+    pub fn arena(&self) -> &Arc<SimArena> {
+        &self.arena
+    }
+
+    /// Loads one pattern block per view PI (`lanes[i]` = values of
+    /// `view.pis[i]`) and runs the good-machine simulation.
     ///
     /// # Panics
     ///
     /// Panics if `lanes.len()` differs from the view PI count.
-    pub fn set_patterns(&mut self, lanes: &[u64]) {
-        assert_eq!(lanes.len(), self.view.pis.len());
-        for v in &mut self.good {
-            *v = 0;
-        }
-        for (i, &pi) in self.view.pis.iter().enumerate() {
-            self.good[pi.index()] = lanes[i];
-        }
-        for (id, net) in self.nl.nets() {
-            if let Some(Driver::Const(c)) = net.driver {
-                self.good[id.index()] = if c { u64::MAX } else { 0 };
-            }
-        }
-        let mut ins: Vec<u64> = Vec::with_capacity(6);
-        for &gid in &self.view.order {
-            let gate = self.nl.gate(gid).expect("live gate");
-            let cell = self.nl.lib().cell(gate.cell);
-            ins.clear();
-            ins.extend(gate.inputs.iter().map(|n| self.good[n.index()]));
-            for (k, out) in cell.outputs.iter().enumerate() {
-                self.good[gate.outputs[k].index()] = out.function.eval_parallel(&ins);
-            }
-        }
+    pub fn set_patterns(&mut self, lanes: &[W]) {
+        let arena = Arc::clone(&self.arena);
+        arena.set_inputs(&mut self.good, lanes);
+        arena.eval_all(&mut self.good);
     }
 
     /// Good-machine value of a net for the loaded patterns.
-    pub fn good_value(&self, net: NetId) -> u64 {
+    #[inline]
+    pub fn good_value(&self, net: NetId) -> W {
         self.good[net.index()]
     }
 
-    fn faulty_value(&self, net: NetId) -> u64 {
-        if self.net_stamp[net.index()] == self.epoch {
-            self.faulty[net.index()]
+    #[inline]
+    fn faulty_value(&self, slot: u32) -> W {
+        if self.net_stamp[slot as usize] == self.epoch {
+            self.faulty[slot as usize]
         } else {
-            self.good[net.index()]
+            self.good[slot as usize]
         }
     }
 
-    fn write_faulty(
-        &mut self,
-        net: NetId,
-        value: u64,
-        queue: &mut BinaryHeap<Reverse<(usize, GateId)>>,
-    ) {
-        let changed = self.faulty_value(net) != value;
-        self.net_stamp[net.index()] = self.epoch;
-        self.faulty[net.index()] = value;
+    fn write_faulty(&mut self, arena: &SimArena, slot: u32, value: W) {
+        let changed = self.faulty_value(slot) != value;
+        self.net_stamp[slot as usize] = self.epoch;
+        self.faulty[slot as usize] = value;
         if changed {
-            for &(sink, _) in &self.nl.net(net).loads {
-                let pos = self.order_pos[sink.index()];
-                if pos != usize::MAX && self.gate_stamp[sink.index()] != self.epoch {
-                    self.gate_stamp[sink.index()] = self.epoch;
-                    queue.push(Reverse((pos, sink)));
+            for &op in arena.net_loads(slot as usize) {
+                if self.op_stamp[op as usize] != self.epoch {
+                    self.op_stamp[op as usize] = self.epoch;
+                    self.level_queue[arena.op_level(op as usize) as usize].push(op);
                 }
             }
         }
     }
 
-    /// Simulates one fault against the loaded 64 patterns; returns the mask
+    /// Simulates one fault against the loaded patterns; returns the mask
     /// of lanes in which it is detected at any view PO.
-    pub fn detect_lanes(&mut self, fault: &Fault) -> u64 {
+    pub fn detect_lanes(&mut self, fault: &Fault) -> W {
+        let arena = Arc::clone(&self.arena);
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             self.net_stamp.fill(0);
-            self.gate_stamp.fill(0);
+            self.op_stamp.fill(0);
             self.epoch = 1;
         }
-        let mut queue: BinaryHeap<Reverse<(usize, GateId)>> = BinaryHeap::new();
 
         // Inject. Stuck-at and bridge sites persist through propagation:
         // a site net re-driven by its own gate keeps the faulty value, so
         // the semantics are per-lane independent even for bridges whose
         // nets are topologically related.
-        let mut sa_site: Option<(NetId, u64)> = None;
-        let mut bridge_site: Option<(NetId, NetId, u64)> = None;
-        let mut ca_gate: Option<GateId> = None;
+        let mut sa_site: Option<(u32, W)> = None;
+        let mut bridge_site: Option<(u32, u32, W)> = None;
+        let mut ca_gate: Option<u32> = None;
         match &fault.kind {
             FaultKind::StuckAt { net, value } | FaultKind::Transition { net, rising: value } => {
                 // StuckAt: the faulty value is `value`. Transition
@@ -134,9 +136,10 @@ impl<'a> FaultSim<'a> {
                 // rise, i.e. behaves as stuck-at-0 on the launch pattern;
                 // slow-to-fall behaves as stuck-at-1.
                 let stuck = *value ^ matches!(fault.kind, FaultKind::Transition { .. });
-                let fv = if stuck { u64::MAX } else { 0 };
-                sa_site = Some((*net, fv));
-                self.write_faulty(*net, fv, &mut queue);
+                let fv = W::splat(stuck);
+                let slot = net.index() as u32;
+                sa_site = Some((slot, fv));
+                self.write_faulty(&arena, slot, fv);
             }
             FaultKind::Bridge { a, b, kind } => {
                 let va = self.good[a.index()];
@@ -145,83 +148,95 @@ impl<'a> FaultSim<'a> {
                     BridgeKind::WiredAnd => va & vb,
                     BridgeKind::WiredOr => va | vb,
                 };
-                bridge_site = Some((*a, *b, resolved));
-                self.write_faulty(*a, resolved, &mut queue);
-                self.write_faulty(*b, resolved, &mut queue);
+                let (sa, sb) = (a.index() as u32, b.index() as u32);
+                bridge_site = Some((sa, sb, resolved));
+                self.write_faulty(&arena, sa, resolved);
+                self.write_faulty(&arena, sb, resolved);
             }
             FaultKind::CellAware { gate, .. } => {
-                ca_gate = Some(*gate);
-                let pos = self.order_pos[gate.index()];
-                if pos == usize::MAX {
-                    return 0; // fault on a flop: not testable in the comb view
+                let ops = arena.gate_ops(gate.index());
+                if ops.is_empty() {
+                    return W::ZERO; // fault on a flop: not in the comb view
                 }
-                self.gate_stamp[gate.index()] = self.epoch;
-                queue.push(Reverse((pos, *gate)));
+                ca_gate = Some(gate.index() as u32);
+                for k in ops {
+                    self.op_stamp[k] = self.epoch;
+                    self.level_queue[arena.op_level(k) as usize].push(k as u32);
+                }
             }
         }
 
-        // Propagate.
-        let mut ins: Vec<u64> = Vec::with_capacity(6);
-        while let Some(Reverse((_, gid))) = queue.pop() {
-            let gate = self.nl.gate(gid).expect("live gate");
-            let cell = self.nl.lib().cell(gate.cell);
-            ins.clear();
-            ins.extend(gate.inputs.iter().map(|&n| self.faulty_value(n)));
-            // Cell-aware activation: lanes where the faulty-machine inputs
-            // match a condition pattern.
-            let mut flips: Vec<u64> = vec![0; gate.outputs.len()];
-            if ca_gate == Some(gid) {
-                if let FaultKind::CellAware { conditions, .. } = &fault.kind {
-                    for cond in conditions {
-                        let mut act = u64::MAX;
-                        for (i, &v) in ins.iter().enumerate() {
-                            let bit = (cond.pattern >> i) & 1 == 1;
-                            act &= if bit { v } else { !v };
+        // Propagate: one ascending level sweep. Every op enqueued while
+        // processing level l sits at a level > l (its inputs are produced by
+        // strictly lower levels), so each worklist is complete by the time
+        // the sweep reaches it.
+        let mut ins = [W::ZERO; MAX_TT_INPUTS];
+        for lvl in 0..self.level_queue.len() {
+            if self.level_queue[lvl].is_empty() {
+                continue;
+            }
+            let mut work = std::mem::take(&mut self.level_queue[lvl]);
+            for &k in &work {
+                let k = k as usize;
+                let slots = arena.op_inputs(k);
+                for (i, &slot) in slots.iter().enumerate() {
+                    ins[i] = self.faulty_value(slot);
+                }
+                let ins = &ins[..slots.len()];
+                let mut v = eval_cell(arena.op_tt(k), ins);
+                // Cell-aware activation: flip the output in lanes where the
+                // faulty-machine inputs match a condition pattern.
+                if ca_gate == Some(arena.op_gate(k)) {
+                    if let FaultKind::CellAware { conditions, .. } = &fault.kind {
+                        let mut flip = W::ZERO;
+                        for cond in conditions {
+                            if cond.output != arena.op_out_pin(k) {
+                                continue;
+                            }
+                            let mut act = W::ONES;
+                            for (i, &iv) in ins.iter().enumerate() {
+                                let bit = (cond.pattern >> i) & 1 == 1;
+                                act &= if bit { iv } else { !iv };
+                            }
+                            flip |= act;
                         }
-                        flips[cond.output as usize] |= act;
+                        v ^= flip;
                     }
                 }
-            }
-            let outs: Vec<(NetId, u64)> = cell
-                .outputs
-                .iter()
-                .enumerate()
-                .map(|(k, out)| {
-                    let mut v = out.function.eval_parallel(&ins) ^ flips[k];
-                    // A stuck-at or bridged site driven by this gate keeps
-                    // its injected value.
-                    if let Some((net, fv)) = sa_site {
-                        if gate.outputs[k] == net {
-                            v = fv;
-                        }
+                // A stuck-at or bridged site driven by this gate keeps its
+                // injected value.
+                let out = arena.op_out(k);
+                if let Some((net, fv)) = sa_site {
+                    if out == net {
+                        v = fv;
                     }
-                    if let Some((a, b, fv)) = bridge_site {
-                        if gate.outputs[k] == a || gate.outputs[k] == b {
-                            v = fv;
-                        }
+                }
+                if let Some((a, b, fv)) = bridge_site {
+                    if out == a || out == b {
+                        v = fv;
                     }
-                    (gate.outputs[k], v)
-                })
-                .collect();
-            for (net, v) in outs {
-                self.write_faulty(net, v, &mut queue);
+                }
+                self.write_faulty(&arena, out, v);
             }
+            work.clear();
+            self.level_queue[lvl] = work; // recycle the allocation
         }
 
         // Observe.
-        let mut det = 0u64;
-        for &po in &self.view.pos {
-            if self.net_stamp[po.index()] == self.epoch {
-                det |= self.faulty[po.index()] ^ self.good[po.index()];
+        let mut det = W::ZERO;
+        for &po in arena.pos() {
+            if self.net_stamp[po as usize] == self.epoch {
+                det |= self.faulty[po as usize] ^ self.good[po as usize];
             }
         }
 
         // Transition faults additionally require the opposite initial value
-        // on the preceding pattern (lanes form a launch sequence; lane 0 has
-        // no predecessor).
+        // on the preceding pattern. Each of the block's four words is its
+        // own launch sequence: the shift does not carry across words and
+        // lane 0 of every word has no predecessor.
         if let FaultKind::Transition { net, rising } = fault.kind {
-            let prev = self.good[net.index()] << 1;
-            let init_ok = if rising { !prev } else { prev } & !1u64;
+            let prev = self.good[net.index()].shl1_words();
+            let init_ok = if rising { !prev } else { prev } & !W::word_lsbs();
             det &= init_ok;
         }
         det
@@ -251,9 +266,13 @@ mod tests {
         nl
     }
 
-    fn exhaustive_lanes() -> Vec<u64> {
+    fn lanes(words: &[u64]) -> Vec<LaneBlock> {
+        words.iter().map(|&w| LaneBlock::from_word(w)).collect()
+    }
+
+    fn exhaustive_lanes() -> Vec<LaneBlock> {
         // lanes 0..3 = minterms 00,01,10,11 of (a,b)
-        vec![0b1010, 0b1100]
+        lanes(&[0b1010, 0b1100])
     }
 
     #[test]
@@ -266,10 +285,10 @@ mod tests {
         // y SA0: good y = 1 except a=b=1; detected in lanes where good y = 1.
         let f = Fault::external(FaultKind::StuckAt { net: y, value: false }, 0);
         let det = fs.detect_lanes(&f);
-        assert_eq!(det & 0xF, 0b0111);
+        assert_eq!(det.word(0) & 0xF, 0b0111);
         // y SA1: detected only in lane 3 (a=b=1).
         let f1 = Fault::external(FaultKind::StuckAt { net: y, value: true }, 0);
-        assert_eq!(fs.detect_lanes(&f1) & 0xF, 0b1000);
+        assert_eq!(fs.detect_lanes(&f1).word(0) & 0xF, 0b1000);
     }
 
     #[test]
@@ -283,7 +302,7 @@ mod tests {
         let det = fs.detect_lanes(&f);
         // a SA0 visible whenever a=1: lane 1 (a=1,b=0, z flips) and lane 3
         // (a=1,b=1: y flips 0->1 and z flips).
-        assert_eq!(det & 0xF, 0b1010);
+        assert_eq!(det.word(0) & 0xF, 0b1010);
     }
 
     #[test]
@@ -297,7 +316,7 @@ mod tests {
         let f = Fault::external(FaultKind::Bridge { a, b, kind: BridgeKind::WiredAnd }, 0);
         let det = fs.detect_lanes(&f);
         // wired-AND corrupts lanes where a != b (lanes 1 and 2).
-        assert_eq!(det & 0xF, 0b0110);
+        assert_eq!(det.word(0) & 0xF, 0b0110);
     }
 
     #[test]
@@ -310,7 +329,7 @@ mod tests {
         // Flip NAND output only when inputs are 10 (a=1, b=0): pattern 0b01.
         let f = Fault::internal(g, vec![CellCondition { pattern: 0b01, output: 0 }], 0);
         let det = fs.detect_lanes(&f);
-        assert_eq!(det & 0xF, 0b0010, "only minterm a=1,b=0 (lane 1)");
+        assert_eq!(det.word(0) & 0xF, 0b0010, "only minterm a=1,b=0 (lane 1)");
     }
 
     #[test]
@@ -319,22 +338,39 @@ mod tests {
         let view = nl.comb_view().unwrap();
         let mut fs = FaultSim::new(&nl, &view);
         // lanes: a = 0,1,0,1 ; b = 0,0,0,0 → y = 1,1,1,1; z = a
-        fs.set_patterns(&[0b1010, 0b0000]);
+        fs.set_patterns(&lanes(&[0b1010, 0b0000]));
         let z = nl.find_net("z").unwrap();
         // slow-to-rise on z: needs prev z=0, this z=1 → lanes 1 and 3.
         let f = Fault::external(FaultKind::Transition { net: z, rising: true }, 0);
         let det = fs.detect_lanes(&f);
-        assert_eq!(det & 0xF, 0b1010);
+        assert_eq!(det.word(0) & 0xF, 0b1010);
         // slow-to-fall on z: needs prev z=1, this z=0 → lane 2.
         let f2 = Fault::external(FaultKind::Transition { net: z, rising: false }, 0);
-        assert_eq!(fs.detect_lanes(&f2) & 0xF, 0b0100);
+        assert_eq!(fs.detect_lanes(&f2).word(0) & 0xF, 0b0100);
+    }
+
+    #[test]
+    fn transition_launch_sequences_are_per_word() {
+        // The same (a,b) sequence in every word must detect identically in
+        // every word — word boundaries start fresh launch sequences.
+        let nl = sample();
+        let view = nl.comb_view().unwrap();
+        let mut fs = FaultSim::new(&nl, &view);
+        let a = LaneBlock::from_words([0b1010; 4]);
+        let b = LaneBlock::ZERO;
+        fs.set_patterns(&[a, b]);
+        let z = nl.find_net("z").unwrap();
+        let f = Fault::external(FaultKind::Transition { net: z, rising: true }, 0);
+        let det = fs.detect_lanes(&f);
+        for w in 0..4 {
+            assert_eq!(det.word(w) & 0xF, 0b1010, "word {w}");
+        }
     }
 
     #[test]
     fn undetectable_fault_has_no_lanes() {
-        // Redundant logic: y = (a & b) | (a & !b) | (!a) = 1 always... build
-        // simpler: tie both NAND inputs to the same net: y = !(a&a) = !a;
-        // a fault requiring inputs 01 is unexcitable.
+        // Tie both NAND inputs to the same net: y = !(a&a) = !a; a fault
+        // requiring inputs 01 is unexcitable.
         let lib = Library::osu018();
         let mut nl = Netlist::new("r", lib.clone());
         let a = nl.add_input("a");
@@ -344,9 +380,9 @@ mod tests {
         nl.mark_output(y);
         let view = nl.comb_view().unwrap();
         let mut fs = FaultSim::new(&nl, &view);
-        fs.set_patterns(&[0b10]);
+        fs.set_patterns(&lanes(&[0b10]));
         let f = Fault::internal(g, vec![CellCondition { pattern: 0b01, output: 0 }], 0);
-        assert_eq!(fs.detect_lanes(&f), 0);
+        assert_eq!(fs.detect_lanes(&f), LaneBlock::ZERO);
     }
 
     #[test]
@@ -360,5 +396,47 @@ mod tests {
         let d1 = fs.detect_lanes(&f0);
         let d2 = fs.detect_lanes(&f0);
         assert_eq!(d1, d2, "repeated simulation is stable");
+    }
+
+    #[test]
+    fn wide_detection_matches_four_narrow_words() {
+        // Drive all four words with different patterns and check each word
+        // against an independent single-word run — for every fault kind.
+        let nl = sample();
+        let view = nl.comb_view().unwrap();
+        let a_words = [0b1010u64, 0b1111_0000, 0x5555, 0b1100];
+        let b_words = [0b1100u64, 0b1010_1010, 0x0F0F, 0b0110];
+        let a = nl.find_net("a").unwrap();
+        let b = nl.find_net("b").unwrap();
+        let y = nl.find_net("y").unwrap();
+        let g = nl.find_gate("u0").unwrap();
+        let faults = vec![
+            Fault::external(FaultKind::StuckAt { net: y, value: false }, 0),
+            Fault::external(FaultKind::StuckAt { net: a, value: true }, 0),
+            Fault::external(FaultKind::Transition { net: y, rising: true }, 0),
+            Fault::external(FaultKind::Transition { net: b, rising: false }, 0),
+            Fault::external(FaultKind::Bridge { a, b, kind: BridgeKind::WiredAnd }, 0),
+            Fault::external(FaultKind::Bridge { a, b, kind: BridgeKind::WiredOr }, 0),
+            Fault::internal(g, vec![CellCondition { pattern: 0b01, output: 0 }], 0),
+        ];
+        let mut wide = FaultSim::new(&nl, &view);
+        wide.set_patterns(&[LaneBlock::from_words(a_words), LaneBlock::from_words(b_words)]);
+        let mut narrow = FaultSim::new(&nl, &view);
+        // The u64 width (the confirm/drop path) must also reproduce each
+        // word — same kernel, one-word block.
+        let mut narrow64: FaultSim<u64> = FaultSim::new(&nl, &view);
+        for f in &faults {
+            let dw = wide.detect_lanes(f);
+            for w in 0..4 {
+                narrow.set_patterns(&[
+                    LaneBlock::from_word(a_words[w]),
+                    LaneBlock::from_word(b_words[w]),
+                ]);
+                let dn = narrow.detect_lanes(f);
+                assert_eq!(dw.word(w), dn.word(0), "fault {f:?} word {w}");
+                narrow64.set_patterns(&[a_words[w], b_words[w]]);
+                assert_eq!(dw.word(w), narrow64.detect_lanes(f), "fault {f:?} word {w} at u64");
+            }
+        }
     }
 }

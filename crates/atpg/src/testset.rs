@@ -1,4 +1,14 @@
 //! Test patterns and test sets (bit-packed over the view's primary inputs).
+//!
+//! Simulation paths consume a test set through lane windows: 64 consecutive
+//! patterns packed into one `u64` per PI ([`TestSet::lanes`]), or up to four
+//! such windows packed into the words of a [`LaneBlock`]
+//! ([`TestSet::lane_blocks`]) so one 256-lane fault-simulation call covers
+//! four windows. [`window_offsets`] enumerates the stride-63 overlapping
+//! window starts that keep every consecutive pattern pair (transition
+//! initialisation + launch) inside some window.
+
+use rsyn_netlist::{LaneBlock, LANE_WORDS};
 
 /// One test pattern: a boolean assignment to every view PI, bit-packed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -122,6 +132,53 @@ impl TestSet {
         }
         out
     }
+
+    /// Packs up to [`LANE_WORDS`] 64-pattern windows into lane blocks: word
+    /// `j` of `result[pi]` is the window starting at `offsets[j]` (with the
+    /// same last-pattern replication as [`TestSet::lanes`]). Words beyond
+    /// `offsets.len()` are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANE_WORDS`] offsets are given.
+    pub fn lane_blocks(&self, offsets: &[usize], pi_count: usize) -> Vec<LaneBlock> {
+        assert!(offsets.len() <= LANE_WORDS, "at most {LANE_WORDS} windows per block");
+        let mut out = vec![LaneBlock::ZERO; pi_count];
+        for (j, &offset) in offsets.iter().enumerate() {
+            let words = self.lanes(offset, pi_count);
+            for (i, block) in out.iter_mut().enumerate() {
+                block.set_word(j, words[i]);
+            }
+        }
+        out
+    }
+}
+
+/// The stride-63 overlapping window starts covering a test set of `len`
+/// patterns: 0, 63, 126, … — each consecutive pattern pair sits fully
+/// inside some window, which transition faults need. Returns `[0]` for any
+/// `len <= 64` (including 0, matching the historical one-window loop).
+pub fn window_offsets(len: usize) -> Vec<usize> {
+    let mut out = vec![0];
+    let mut offset = 0;
+    while offset + 64 < len {
+        offset += 63;
+        out.push(offset);
+    }
+    out
+}
+
+/// Detection-validity mask for a window block: word `j` has its low
+/// `len - offsets[j]` lanes set (capped at 64); words beyond `offsets.len()`
+/// are zero. Lanes beyond the mask hold replicated patterns and must not
+/// count as detections.
+pub fn window_mask(offsets: &[usize], len: usize) -> LaneBlock {
+    let mut mask = LaneBlock::ZERO;
+    for (j, &offset) in offsets.iter().enumerate() {
+        let valid = len.saturating_sub(offset).min(64);
+        mask.set_word(j, if valid >= 64 { u64::MAX } else { (1u64 << valid) - 1 });
+    }
+    mask
 }
 
 impl FromIterator<Pattern> for TestSet {
@@ -166,6 +223,51 @@ mod tests {
         let lanes = ts.lanes(0, 2);
         assert_eq!(lanes[0] & 0b11, 0b01, "pi0: pattern0=1 pattern1=0");
         assert_eq!(lanes[1] & 0b11, 0b10, "pi1: pattern0=0 pattern1=1");
+    }
+
+    #[test]
+    fn lane_blocks_pack_windows_into_words() {
+        let mut ts = TestSet::new();
+        for i in 0..100 {
+            ts.push(Pattern::from_bools(&[i % 2 == 0, i % 3 == 0]));
+        }
+        let offsets = window_offsets(ts.len());
+        assert_eq!(offsets, vec![0, 63]);
+        let blocks = ts.lane_blocks(&offsets, 2);
+        for (j, &offset) in offsets.iter().enumerate() {
+            let words = ts.lanes(offset, 2);
+            for pi in 0..2 {
+                assert_eq!(blocks[pi].word(j), words[pi], "window {j} pi {pi}");
+            }
+        }
+        // Words beyond the given offsets stay zero.
+        assert_eq!(blocks[0].word(2), 0);
+        assert_eq!(blocks[0].word(3), 0);
+    }
+
+    #[test]
+    fn window_offsets_cover_every_adjacent_pair() {
+        for len in [0usize, 1, 64, 65, 100, 127, 128, 500] {
+            let offsets = window_offsets(len);
+            assert_eq!(offsets[0], 0, "len={len}");
+            // Every consecutive pair (t, t+1) must fit inside some window.
+            for t in 0..len.saturating_sub(1) {
+                assert!(
+                    offsets.iter().any(|&o| t >= o && t + 1 < o + 64),
+                    "len={len}: pair ({t},{}) straddles every window",
+                    t + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_mask_counts_real_tests() {
+        let offsets = window_offsets(100);
+        let mask = window_mask(&offsets, 100);
+        assert_eq!(mask.word(0), u64::MAX, "window 0 holds 64 real tests");
+        assert_eq!(mask.word(1), (1u64 << 37) - 1, "window 63 holds tests 63..100");
+        assert_eq!(mask.word(2), 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rsyn_atpg::fault::{Fault, FaultKind, FaultStatus};
 use rsyn_atpg::podem::{Podem, PodemOutcome, Target};
 use rsyn_atpg::sim::FaultSim;
 use rsyn_atpg::value::{eval3, Tri};
-use rsyn_netlist::{Library, NetId, Netlist, TruthTable};
+use rsyn_netlist::{LaneBlock, Library, NetId, Netlist, TruthTable};
 
 fn random_netlist(seed: u64, gates: usize, pis: usize) -> Netlist {
     let lib = Library::osu018();
@@ -101,16 +101,64 @@ proptest! {
             }
             for value in [false, true] {
                 if let PodemOutcome::Detected(p) = podem.run(&Target::StuckAt { net: id, value }) {
-                    let lanes: Vec<u64> =
-                        p.to_bools().iter().map(|&b| u64::from(b)).collect();
+                    let lanes: Vec<LaneBlock> =
+                        p.to_bools().iter().map(|&b| LaneBlock::from_word(u64::from(b))).collect();
                     sim.set_patterns(&lanes);
                     let f = Fault::external(FaultKind::StuckAt { net: id, value }, 0);
-                    prop_assert_eq!(sim.detect_lanes(&f) & 1, 1, "net {} sa{}", id, u8::from(value));
+                    prop_assert!(sim.detect_lanes(&f).lane(0), "net {} sa{}", id, u8::from(value));
                     checked += 1;
                 }
             }
         }
         prop_assert!(checked >= 4, "only {} detections", checked);
+    }
+
+    /// The flat-arena 256-lane simulator bit-matches a per-gate reference
+    /// evaluation on random netlists and random patterns, lane by lane.
+    #[test]
+    fn arena_sim_matches_per_gate_reference(seed in 0u64..48, lane_seed in 1u64..u64::MAX) {
+        let nl = random_netlist(seed, 20, 6);
+        let view = nl.comb_view().unwrap();
+        let mut state = lane_seed;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pi_vals: Vec<LaneBlock> = view
+            .pis
+            .iter()
+            .map(|_| LaneBlock::from_words([next(), next(), next(), next()]))
+            .collect();
+        let mut sim: rsyn_netlist::sim::ParallelSim<LaneBlock> =
+            rsyn_netlist::sim::ParallelSim::new(&nl, &view);
+        sim.simulate(&pi_vals);
+        // Per-gate scalar reference: walk gates in creation order (inputs
+        // always precede their consumers in `random_netlist`), chasing the
+        // netlist and library pointers the arena kernel flattened away.
+        for lane in [0usize, 1, 63, 64, 127, 128, 200, 255] {
+            let mut vals = vec![false; nl.net_count()];
+            for (i, &pi) in view.pis.iter().enumerate() {
+                vals[pi.index()] = pi_vals[i].lane(lane);
+            }
+            for (_, gate) in nl.gates() {
+                let cell = nl.lib().cell(gate.cell);
+                let mut m = 0u64;
+                for (i, &input) in gate.inputs.iter().enumerate() {
+                    if vals[input.index()] {
+                        m |= 1 << i;
+                    }
+                }
+                for (pin, out) in cell.outputs.iter().enumerate() {
+                    vals[gate.outputs[pin].index()] = out.function.eval(m);
+                }
+            }
+            for (n, &v) in vals.iter().enumerate() {
+                let id = NetId::from_index(n);
+                prop_assert_eq!(sim.value(id).lane(lane), v, "lane {} net {}", lane, n);
+            }
+        }
     }
 
     /// The parallel engine is deterministic in the thread count: any

@@ -19,6 +19,7 @@ use rsyn_atpg::podem::{Podem, PodemOutcome};
 use rsyn_atpg::sim::FaultSim;
 use rsyn_bench::{analyzed, context, write_manifest};
 use rsyn_cluster::gates_of_fault;
+use rsyn_netlist::LANE_WORDS;
 use rsyn_observe::manifest::Run;
 
 fn main() {
@@ -61,19 +62,25 @@ fn main() {
 
     let mut sim = FaultSim::new(&state.nl, &view);
     for n in [1usize, 3, 5] {
-        // Count detections of each adjacent fault under the base test set.
+        // Count detections of each adjacent fault under the base test set
+        // (four non-overlapping 64-test windows per 256-lane call).
+        let n_tests = state.atpg.tests.len();
         let mut detections = vec![0usize; state.faults.len()];
-        let mut word = 0usize;
-        while word * 64 < state.atpg.tests.len() {
-            let lanes = state.atpg.tests.lanes(word * 64, view.pis.len());
+        let mut base = 0usize;
+        while base < n_tests {
+            let offsets: Vec<usize> =
+                (0..LANE_WORDS).map(|j| base + 64 * j).filter(|&o| o < n_tests).collect();
+            let lanes = state.atpg.tests.lane_blocks(&offsets, view.pis.len());
             sim.set_patterns(&lanes);
             for &fi in &adjacent {
-                let lanes_hit = sim.detect_lanes(&state.faults[fi]).count_ones() as usize;
-                let base = word * 64;
-                let valid = (state.atpg.tests.len() - base).min(64);
-                detections[fi] += lanes_hit.min(valid);
+                let det = sim.detect_lanes(&state.faults[fi]);
+                for (j, &offset) in offsets.iter().enumerate() {
+                    let lanes_hit = det.word(j).count_ones() as usize;
+                    let valid = (n_tests - offset).min(64);
+                    detections[fi] += lanes_hit.min(valid);
+                }
             }
-            word += 1;
+            base += 64 * LANE_WORDS;
         }
         // Top up each adjacent fault to N detections with fresh tests.
         let mut podem = Podem::new(&state.nl, &view, ctx.atpg.backtrack_limit);

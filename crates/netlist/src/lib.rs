@@ -13,7 +13,9 @@
 //!   Liberty-subset writer and parser ([`liberty`]) — both report failures
 //!   as positioned [`NetlistError::Parse`] values (line, column, fragment)
 //!   instead of panicking;
-//! * 64-way parallel logic simulation ([`sim`]).
+//! * bit-parallel logic simulation ([`sim`]) over a flat levelized
+//!   struct-of-arrays arena ([`arena`]), 64 (`u64`) or 256
+//!   ([`lanes::LaneBlock`]) patterns per gate visit.
 //!
 //! Flow-reachable code paths in this crate are `unwrap`-free
 //! (`clippy::unwrap_used` is enforced outside tests).
@@ -40,9 +42,11 @@
 
 #![warn(clippy::unwrap_used)]
 
+pub mod arena;
 pub mod buffering;
 pub mod cell;
 pub mod ids;
+pub mod lanes;
 pub mod liberty;
 pub mod library;
 pub mod netlist;
@@ -52,8 +56,10 @@ pub mod tt;
 pub mod validate;
 pub mod verilog;
 
+pub use arena::SimArena;
 pub use cell::{Cell, CellClass, CellOutput, SpNet, Transistor};
 pub use ids::{CellId, GateId, NetId};
+pub use lanes::{LaneBlock, SimWord, LANES, LANE_WORDS};
 pub use liberty::{parse_liberty, write_liberty, LibertyCell, LibertyLibrary, LibertyPin};
 pub use library::Library;
 pub use netlist::{CombView, Driver, Gate, Net, Netlist};

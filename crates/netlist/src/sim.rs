@@ -1,76 +1,79 @@
-//! 64-way parallel logic simulation.
+//! Bit-parallel logic simulation (64 or 256 lanes per call).
 //!
-//! [`ParallelSim`] evaluates the combinational view of a netlist for 64
-//! input vectors at once (one per bit lane). It is used for good-machine
-//! simulation during ATPG's random phase, for switching-activity estimation
-//! in the power model, and as a reference model in tests.
+//! [`ParallelSim`] evaluates the combinational view of a netlist for one
+//! word of input vectors at once — `u64` for the historical 64-lane paths,
+//! [`LaneBlock`](crate::lanes::LaneBlock) for the 256-lane hot paths. It is
+//! used for good-machine simulation during ATPG's random phase, for
+//! switching-activity estimation in the power model, and as a reference
+//! model in tests.
+//!
+//! The simulator is a thin stateful wrapper over [`SimArena`]: the arena is
+//! built once in [`ParallelSim::new`] (or shared via
+//! [`ParallelSim::with_arena`]) and the hot loop runs entirely on flat
+//! arrays — no per-gate netlist or library lookups.
 
+use std::sync::Arc;
+
+use crate::arena::SimArena;
 use crate::ids::NetId;
-use crate::netlist::{CombView, Driver, Netlist};
+use crate::lanes::SimWord;
+use crate::netlist::{CombView, Netlist};
 
-/// A reusable 64-lane parallel simulator for one netlist + view.
+/// A reusable bit-parallel simulator for one netlist + view.
+///
+/// The lane width is the type parameter `W` (default `u64`, 64 lanes);
+/// instantiate with [`LaneBlock`](crate::lanes::LaneBlock) for 256 lanes.
 #[derive(Debug)]
-pub struct ParallelSim<'a> {
-    nl: &'a Netlist,
-    view: &'a CombView,
-    values: Vec<u64>,
+pub struct ParallelSim<W: SimWord = u64> {
+    arena: Arc<SimArena>,
+    values: Vec<W>,
 }
 
-impl<'a> ParallelSim<'a> {
-    /// Creates a simulator for the given netlist and combinational view.
-    pub fn new(nl: &'a Netlist, view: &'a CombView) -> Self {
-        Self { nl, view, values: vec![0; nl.net_count()] }
+impl<W: SimWord> ParallelSim<W> {
+    /// Creates a simulator, building a fresh [`SimArena`] for the view.
+    pub fn new(nl: &Netlist, view: &CombView) -> Self {
+        Self::with_arena(Arc::new(SimArena::build(nl, view)))
     }
 
-    /// Simulates 64 vectors: `pi_values[i]` holds the 64 values of
-    /// `view.pis[i]`. After the call every net value is available through
+    /// Creates a simulator over an existing (possibly shared) arena.
+    pub fn with_arena(arena: Arc<SimArena>) -> Self {
+        let values = vec![W::ZERO; arena.net_count()];
+        Self { arena, values }
+    }
+
+    /// The underlying arena.
+    #[inline]
+    pub fn arena(&self) -> &Arc<SimArena> {
+        &self.arena
+    }
+
+    /// Simulates one word of vectors: `pi_values[i]` holds the lane values
+    /// of view PI `i`. After the call every net value is available through
     /// [`ParallelSim::value`].
     ///
     /// # Panics
     ///
     /// Panics if `pi_values.len()` differs from the number of view PIs.
-    pub fn simulate(&mut self, pi_values: &[u64]) {
-        assert_eq!(pi_values.len(), self.view.pis.len(), "PI vector count mismatch");
-        for v in &mut self.values {
-            *v = 0;
-        }
-        for (i, &pi) in self.view.pis.iter().enumerate() {
-            self.values[pi.index()] = pi_values[i];
-        }
-        // Constants.
-        for (id, net) in self.nl.nets() {
-            if let Some(Driver::Const(c)) = net.driver {
-                self.values[id.index()] = if c { u64::MAX } else { 0 };
-            }
-        }
-        let mut ins: Vec<u64> = Vec::with_capacity(6);
-        for &gid in &self.view.order {
-            let gate = self.nl.gate(gid).expect("live gate in view");
-            let cell = self.nl.lib().cell(gate.cell);
-            ins.clear();
-            ins.extend(gate.inputs.iter().map(|n| self.values[n.index()]));
-            for (k, out) in cell.outputs.iter().enumerate() {
-                let v = out.function.eval_parallel(&ins);
-                self.values[gate.outputs[k].index()] = v;
-            }
-        }
+    pub fn simulate(&mut self, pi_values: &[W]) {
+        self.arena.set_inputs(&mut self.values, pi_values);
+        self.arena.eval_all(&mut self.values);
     }
 
-    /// The 64 simulated values of a net (valid after [`simulate`]).
+    /// The simulated lane values of a net (valid after [`simulate`]).
     ///
     /// [`simulate`]: ParallelSim::simulate
     #[inline]
-    pub fn value(&self, net: NetId) -> u64 {
+    pub fn value(&self, net: NetId) -> W {
         self.values[net.index()]
     }
 
     /// The values of all view primary outputs, in view order.
-    pub fn output_values(&self) -> Vec<u64> {
-        self.view.pos.iter().map(|&po| self.value(po)).collect()
+    pub fn output_values(&self) -> Vec<W> {
+        self.arena.pos().iter().map(|&po| self.values[po as usize]).collect()
     }
 
     /// Immutable access to the full value array (indexed by `NetId`).
-    pub fn values(&self) -> &[u64] {
+    pub fn values(&self) -> &[W] {
         &self.values
     }
 }
@@ -87,6 +90,7 @@ pub fn simulate_one(nl: &Netlist, view: &CombView, pis: &[bool]) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lanes::LaneBlock;
     use crate::library::Library;
 
     fn xor_netlist() -> Netlist {
@@ -165,5 +169,37 @@ mod tests {
             assert_eq!(out[0], ones % 2 == 1, "sum m={m}");
             assert_eq!(out[1], ones >= 2, "carry m={m}");
         }
+    }
+
+    #[test]
+    fn wide_sim_words_match_four_narrow_words() {
+        // The 256-lane determinism contract: each word of a LaneBlock is an
+        // independent 64-lane simulation.
+        let nl = xor_netlist();
+        let view = nl.comb_view().unwrap();
+        let words_a = [0x5555u64, 0xFFFF_0000, 0, u64::MAX];
+        let words_b = [0x3333u64, 0xFF00_FF00, u64::MAX, 0xDEAD_BEEF];
+        let mut wide: ParallelSim<LaneBlock> = ParallelSim::new(&nl, &view);
+        wide.simulate(&[LaneBlock::from_words(words_a), LaneBlock::from_words(words_b)]);
+        let y = nl.find_net("y").unwrap();
+        let mut narrow = ParallelSim::new(&nl, &view);
+        for w in 0..4 {
+            narrow.simulate(&[words_a[w], words_b[w]]);
+            assert_eq!(wide.value(y).word(w), narrow.value(y), "word {w}");
+        }
+    }
+
+    #[test]
+    fn shared_arena_across_simulators() {
+        let nl = xor_netlist();
+        let view = nl.comb_view().unwrap();
+        let arena = Arc::new(crate::arena::SimArena::build(&nl, &view));
+        let mut s1: ParallelSim = ParallelSim::with_arena(Arc::clone(&arena));
+        let mut s2: ParallelSim = ParallelSim::with_arena(arena);
+        s1.simulate(&[0b01, 0b01]);
+        s2.simulate(&[0b01, 0b11]);
+        let y = nl.find_net("y").unwrap();
+        assert_eq!(s1.value(y) & 0b11, 0b00);
+        assert_eq!(s2.value(y) & 0b11, 0b10);
     }
 }

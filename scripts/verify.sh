@@ -79,6 +79,13 @@ TRACE=target/release/trace_report
 for t in "$SMOKE_DIR"/f1/trace.json "$SMOKE_DIR"/f4/trace.json; do
   grep -q '"ph":"X"' "$t" || { echo "perf gate FAILED: $t has no complete events"; exit 1; }
 done
+# The simulation kernel must stay inside the measured trajectory: the arena
+# build and the good-machine simulation spans record (volatile) wall times
+# in every traced run. If they vanish, the kernel was silently bypassed.
+for span in span.sim.build.wall_ms span.sim.good.wall_ms; do
+  grep -q "\"$span\"" "$SMOKE_DIR/f1/BENCH_flow.json" \
+    || { echo "perf gate FAILED: $span missing from BENCH_flow.json"; exit 1; }
+done
 "$CHECK" --timing-tolerance 1000 --band span.=200 --band run.wall_ms=200 \
   results/baselines/BENCH_flow.json "$SMOKE_DIR/f1/BENCH_flow.json"
 
