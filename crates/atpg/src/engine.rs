@@ -227,7 +227,25 @@ struct ShardPart {
 /// The fault list is evaluated in deterministic shards spread over
 /// `options.threads` workers (see the module docs); the returned result is
 /// bit-identical for every thread count.
+///
+/// When the cross-run cache is enabled (`RSYN_CACHE_DIR`), a run whose
+/// canonical subject — circuit, fault list, and options minus `threads` —
+/// was evaluated before returns the recorded verdicts, tests, and
+/// deterministic counter deltas instead of recomputing (see the `vcache`
+/// module for the contract and bypass conditions).
 pub fn run_atpg(
+    nl: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    options: &AtpgOptions,
+) -> AtpgResult {
+    crate::vcache::run_cached(nl, view, faults, options, || {
+        run_atpg_uncached(nl, view, faults, options)
+    })
+}
+
+/// The actual flow behind [`run_atpg`], always computed.
+fn run_atpg_uncached(
     nl: &Netlist,
     view: &CombView,
     faults: &[Fault],

@@ -54,6 +54,7 @@ pub mod sim;
 pub mod tester;
 pub mod testset;
 pub mod value;
+mod vcache;
 
 pub use dictionary::FaultDictionary;
 pub use engine::{run_atpg, AtpgOptions, AtpgResult};

@@ -37,8 +37,9 @@ fn is_checkpoint(src: &str, path: &str) -> bool {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: check_manifest [--timing-tolerance R | --no-timings] [--band PREFIX=R ...] \
-         <baseline> <current>\n\
-         \u{20}      check_manifest --determinism <a> <b>"
+         [--ignore PREFIX ...] [--require NAME ...] <baseline> <current>\n\
+         \u{20}      check_manifest --determinism [--ignore PREFIX ...] [--require NAME ...] \
+         <a> <b>"
     );
     ExitCode::from(2)
 }
@@ -66,6 +67,27 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        args.drain(i..=i + 1);
+    }
+    // `--ignore PREFIX` strips matching counters from both manifests before
+    // any comparison — the warm-cache gate uses it to compare a cold and a
+    // warm run, which agree on everything except their `cache.*` traffic.
+    let mut ignores: Vec<String> = Vec::new();
+    while let Some(i) = args.iter().position(|a| a == "--ignore") {
+        if i + 1 >= args.len() {
+            return usage();
+        }
+        ignores.push(args[i + 1].clone());
+        args.drain(i..=i + 1);
+    }
+    // `--require NAME` asserts the *current* (second) manifest carries a
+    // non-zero counter NAME — how the gate proves a warm run actually hit.
+    let mut requires: Vec<String> = Vec::new();
+    while let Some(i) = args.iter().position(|a| a == "--require") {
+        if i + 1 >= args.len() {
+            return usage();
+        }
+        requires.push(args[i + 1].clone());
         args.drain(i..=i + 1);
     }
     while let Some(i) = args.iter().position(|a| a == "--band") {
@@ -112,7 +134,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let (left, right) = match (Manifest::read(a), Manifest::read(b)) {
+    let (mut left, mut right) = match (Manifest::read(a), Manifest::read(b)) {
         (Ok(l), Ok(r)) => (l, r),
         (l, r) => {
             for e in [l.err(), r.err()].into_iter().flatten() {
@@ -121,6 +143,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // Presence checks run against the raw current manifest, before any
+    // `--ignore` stripping (the warm-cache gate requires `cache.hit` while
+    // simultaneously ignoring the `cache.` prefix in the comparison).
+    let mut missing = false;
+    for name in &requires {
+        let n = right.counters.get(name).copied().unwrap_or(0);
+        if n == 0 {
+            eprintln!("required counter `{name}` is absent or zero in {b}");
+            missing = true;
+        }
+    }
+    if missing {
+        return ExitCode::FAILURE;
+    }
+    if !ignores.is_empty() {
+        for m in [&mut left, &mut right] {
+            m.counters.retain(|k, _| !ignores.iter().any(|p| k.starts_with(p)));
+        }
+    }
 
     if determinism {
         if left.stable_json() == right.stable_json() {

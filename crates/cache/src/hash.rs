@@ -1,0 +1,183 @@
+//! A stable, platform-independent 128-bit content hash.
+//!
+//! `std::hash::Hasher` implementations (SipHash with random keys, or
+//! anything keyed per-process) are useless for content addressing: the
+//! same subject must map to the same key across processes, machines, and
+//! releases, because on-disk cache entries outlive the process that wrote
+//! them. [`StableHasher`] therefore defines its own absorption scheme —
+//! two independent 64-bit lanes mixed with the SplitMix64 finalizer —
+//! with every input encoded little-endian and `usize` values widened to
+//! `u64` so 32- and 64-bit hosts agree.
+//!
+//! The hash is *not* cryptographic; it only has to make accidental
+//! collisions between distinct canonicalized subjects astronomically
+//! unlikely. Callers disambiguate subject kinds by absorbing a domain
+//! string first (see [`StableHasher::write_str`]).
+
+/// SplitMix64 finalizer: a cheap full-avalanche 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Incremental 128-bit stable hasher (see the module docs).
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+    /// Logical byte count absorbed so far; folded into `finish` so that
+    /// e.g. `write_u8(1)` and `write_u64(1)` produce different hashes.
+    len: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher with fixed (version-stable) initial state.
+    pub fn new() -> Self {
+        StableHasher { a: 0x9E37_79B9_7F4A_7C15, b: 0xC2B2_AE3D_27D4_EB4F, len: 0 }
+    }
+
+    /// Absorbs one 64-bit word into both lanes without advancing `len`.
+    fn absorb(&mut self, x: u64) {
+        self.a = mix(self.a ^ x.wrapping_mul(0xFF51_AFD7_ED55_8CCD));
+        self.b = mix(self.b.rotate_left(29) ^ x.wrapping_mul(0xC4CE_B9FE_1A85_EC53));
+    }
+
+    /// Absorbs a `u64` (8 logical bytes).
+    pub fn write_u64(&mut self, x: u64) {
+        self.len = self.len.wrapping_add(8);
+        self.absorb(x);
+    }
+
+    /// Absorbs a `u32` (4 logical bytes).
+    pub fn write_u32(&mut self, x: u32) {
+        self.len = self.len.wrapping_add(4);
+        self.absorb(u64::from(x));
+    }
+
+    /// Absorbs a `u16` (2 logical bytes).
+    pub fn write_u16(&mut self, x: u16) {
+        self.len = self.len.wrapping_add(2);
+        self.absorb(u64::from(x));
+    }
+
+    /// Absorbs a `u8` (1 logical byte).
+    pub fn write_u8(&mut self, x: u8) {
+        self.len = self.len.wrapping_add(1);
+        self.absorb(u64::from(x));
+    }
+
+    /// Absorbs a `usize` widened to `u64` (platform-independent).
+    pub fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    /// Absorbs a `bool` as one byte.
+    pub fn write_bool(&mut self, x: bool) {
+        self.write_u8(u8::from(x));
+    }
+
+    /// Absorbs an `f64` by bit pattern (NaN payloads included verbatim).
+    pub fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    /// Absorbs a length-prefixed byte string (zero-padded to whole words;
+    /// the explicit length prefix removes padding ambiguity).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.absorb(u64::from_le_bytes(w));
+        }
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+    }
+
+    /// Absorbs a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Final 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        let a = mix(self.a ^ self.len);
+        let b = mix(self.b ^ self.len.rotate_left(32));
+        (u128::from(a) << 64) | u128::from(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl FnOnce(&mut StableHasher)) -> u128 {
+        let mut h = StableHasher::new();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = hash_of(|h| {
+            h.write_str("subject");
+            h.write_u64(42);
+        });
+        let b = hash_of(|h| {
+            h.write_str("subject");
+            h.write_u64(42);
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn width_and_order_sensitive() {
+        let narrow = hash_of(|h| h.write_u8(1));
+        let wide = hash_of(|h| h.write_u64(1));
+        assert_ne!(narrow, wide, "width must disambiguate identical values");
+        let ab = hash_of(|h| {
+            h.write_u64(1);
+            h.write_u64(2);
+        });
+        let ba = hash_of(|h| {
+            h.write_u64(2);
+            h.write_u64(1);
+        });
+        assert_ne!(ab, ba, "absorption order must matter");
+    }
+
+    #[test]
+    fn byte_strings_are_length_prefixed() {
+        // Without a length prefix these two sequences would absorb the
+        // same padded words.
+        let split = hash_of(|h| {
+            h.write_bytes(b"ab");
+            h.write_bytes(b"cd");
+        });
+        let joined = hash_of(|h| h.write_bytes(b"abcd"));
+        assert_ne!(split, joined);
+        let padded = hash_of(|h| h.write_bytes(b"ab\0\0"));
+        assert_ne!(joined, padded);
+    }
+
+    #[test]
+    fn empty_input_has_stable_nonzero_digest() {
+        let h = StableHasher::new();
+        assert_ne!(h.finish(), 0);
+        assert_eq!(h.finish(), StableHasher::new().finish());
+    }
+
+    #[test]
+    fn small_perturbations_change_many_bits() {
+        let a = hash_of(|h| h.write_u64(0));
+        let b = hash_of(|h| h.write_u64(1));
+        let differing = (a ^ b).count_ones();
+        assert!(differing > 32, "weak avalanche: only {differing} bits differ");
+    }
+}

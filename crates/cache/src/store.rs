@@ -1,0 +1,195 @@
+//! Versioned binary on-disk entry store.
+//!
+//! Layout: `<root>/v1/<domain>-v<domain_version>/<hh>/<key:032x>.bin`,
+//! where `hh` is the top byte of the key (256-way fan-out keeps
+//! directories small). The format version (`v1`) and per-domain version
+//! are both part of the *path*, so bumping either simply stops old
+//! entries from being found — invalidation by version, no migration
+//! code. Each entry is self-checking:
+//!
+//! ```text
+//! magic "RSYC" | format u32 | domain version u32 | payload len u64 |
+//! payload hash u128 | payload bytes
+//! ```
+//!
+//! A mismatch anywhere (magic, versions, length, whole-payload
+//! [`StableHasher`] checksum) classifies the entry as [`Load::Corrupt`];
+//! the caller counts it and treats it as a miss, and the next store
+//! overwrites the mangled file (self-healing). Writes go through a
+//! temporary file plus rename so a crash never leaves a half-written
+//! entry at the final path.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::StableHasher;
+
+/// On-disk entry magic.
+const MAGIC: [u8; 4] = *b"RSYC";
+/// Bump when the header layout itself changes.
+const FORMAT_VERSION: u32 = 1;
+/// Header size: magic + format + domain version + len + payload hash.
+const HEADER_LEN: usize = 4 + 4 + 4 + 8 + 16;
+
+/// Outcome of a disk probe.
+pub enum Load {
+    /// Entry present and checksum-valid.
+    Hit(Vec<u8>),
+    /// No entry on disk.
+    Miss,
+    /// Entry present but mangled (bad magic/version/length/checksum) or
+    /// unreadable.
+    Corrupt,
+}
+
+/// Whole-payload checksum stored in the header.
+fn payload_hash(payload: &[u8]) -> u128 {
+    let mut h = StableHasher::new();
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Final path of an entry.
+pub fn entry_path(root: &Path, domain: &str, domain_version: u32, key: u128) -> PathBuf {
+    root.join("v1")
+        .join(format!("{domain}-v{domain_version}"))
+        .join(format!("{:02x}", (key >> 120) as u8))
+        .join(format!("{key:032x}.bin"))
+}
+
+/// Probes the store for `key`.
+pub fn load(root: &Path, domain: &str, domain_version: u32, key: u128) -> Load {
+    let path = entry_path(root, domain, domain_version, key);
+    let data = match std::fs::read(&path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Load::Miss,
+        Err(_) => return Load::Corrupt,
+    };
+    if data.len() < HEADER_LEN || data[..4] != MAGIC {
+        return Load::Corrupt;
+    }
+    let mut word4 = [0u8; 4];
+    word4.copy_from_slice(&data[4..8]);
+    if u32::from_le_bytes(word4) != FORMAT_VERSION {
+        return Load::Corrupt;
+    }
+    word4.copy_from_slice(&data[8..12]);
+    if u32::from_le_bytes(word4) != domain_version {
+        return Load::Corrupt;
+    }
+    let mut word8 = [0u8; 8];
+    word8.copy_from_slice(&data[12..20]);
+    let declared_len = u64::from_le_bytes(word8);
+    let payload = &data[HEADER_LEN..];
+    if declared_len != payload.len() as u64 {
+        return Load::Corrupt;
+    }
+    let mut word16 = [0u8; 16];
+    word16.copy_from_slice(&data[20..36]);
+    if u128::from_le_bytes(word16) != payload_hash(payload) {
+        return Load::Corrupt;
+    }
+    Load::Hit(payload.to_vec())
+}
+
+/// Writes (or overwrites) an entry atomically. I/O failures are reported
+/// to the caller; they never corrupt an existing entry.
+pub fn save(
+    root: &Path,
+    domain: &str,
+    domain_version: u32,
+    key: u128,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let path = entry_path(root, domain, domain_version, key);
+    let dir = path.parent().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "entry path has no parent")
+    })?;
+    std::fs::create_dir_all(dir)?;
+
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&domain_version.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&payload_hash(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+
+    // Unique temp name per (process, write): concurrent writers of the
+    // same key race benignly — both renames install a valid entry.
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!(".{key:032x}.{}.{seq}.tmp", std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, &path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rsyn-cache-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let root = scratch_root("roundtrip");
+        save(&root, "demo", 1, 7, b"payload").expect("save");
+        match load(&root, "demo", 1, 7) {
+            Load::Hit(bytes) => assert_eq!(bytes, b"payload"),
+            _ => panic!("expected hit"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_key_is_miss() {
+        let root = scratch_root("miss");
+        assert!(matches!(load(&root, "demo", 1, 9), Load::Miss));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn version_bump_hides_old_entries() {
+        let root = scratch_root("version");
+        save(&root, "demo", 1, 7, b"old").expect("save");
+        assert!(matches!(load(&root, "demo", 2, 7), Load::Miss));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncation_and_byte_flips_are_corrupt() {
+        let root = scratch_root("corrupt");
+        save(&root, "demo", 1, 7, b"a checksum-guarded payload").expect("save");
+        let path = entry_path(&root, "demo", 1, 7);
+        let mut data = std::fs::read(&path).expect("read back");
+
+        // Truncate by one byte: declared length no longer matches.
+        std::fs::write(&path, &data[..data.len() - 1]).expect("truncate");
+        assert!(matches!(load(&root, "demo", 1, 7), Load::Corrupt));
+
+        // Flip one payload byte: checksum mismatch.
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        std::fs::write(&path, &data).expect("flip");
+        assert!(matches!(load(&root, "demo", 1, 7), Load::Corrupt));
+
+        // A fresh save self-heals the entry.
+        save(&root, "demo", 1, 7, b"a checksum-guarded payload").expect("resave");
+        assert!(matches!(load(&root, "demo", 1, 7), Load::Hit(_)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

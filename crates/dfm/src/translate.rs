@@ -83,7 +83,7 @@ fn push_bridge(
         return;
     }
     let (a, b) = if a <= b { (a, b) } else { (b, a) };
-    let kind = if mix(a.index() as u64, b.index() as u64).is_multiple_of(2) {
+    let kind = if mix(a.index() as u64, b.index() as u64) % 2 == 0 {
         BridgeKind::WiredAnd
     } else {
         BridgeKind::WiredOr

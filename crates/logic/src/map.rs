@@ -7,6 +7,7 @@
 //! *responsive to the allowed-cell restriction*.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use rsyn_netlist::{CellId, Library, NetId, Netlist, NetlistError, TruthTable};
 
@@ -114,26 +115,30 @@ struct PhaseBest {
 /// cells (NAND/NOR/AOI/OAI outputs) instead of explicit inverters.
 #[derive(Debug)]
 pub struct Mapper {
-    table: MatchTable,
+    lib: Arc<Library>,
+    table: OnceLock<MatchTable>,
     cell_area: HashMap<CellId, f64>,
 }
 
 impl Mapper {
-    /// Builds the mapper (precomputes the match table) for a library.
-    pub fn new(lib: &Library) -> Self {
-        let table = MatchTable::build(lib);
+    /// Creates the mapper for a library. The match table itself is built
+    /// lazily on first use — through the cross-run cache when enabled
+    /// (a previously-seen library, keyed by content hash, deserialises
+    /// its finished table) — so the lookup lands inside the caller's
+    /// observation window rather than at context-construction time.
+    pub fn new(lib: &Arc<Library>) -> Self {
         let cell_area = lib.iter().map(|(id, c)| (id, c.area)).collect();
-        Self { table, cell_area }
+        Self { lib: Arc::clone(lib), table: OnceLock::new(), cell_area }
     }
 
-    /// The underlying match table.
+    /// The underlying match table (built on first call).
     pub fn table(&self) -> &MatchTable {
-        &self.table
+        self.table.get_or_init(|| MatchTable::build_cached(&self.lib))
     }
 
     /// Whether an allowed subset can map arbitrary logic.
     pub fn is_complete(&self, allowed: &[bool]) -> bool {
-        self.table.is_complete(allowed)
+        self.table().is_complete(allowed)
     }
 
     /// Maps `aig` into `nl`, binding AIG PIs to `pi_nets` and POs to
@@ -163,10 +168,13 @@ impl Mapper {
         if !self.is_complete(allowed) {
             return Err(MapError::IncompleteLibrary);
         }
-        let inv_cell = self.table.inverter(allowed).expect("complete subset has inverter");
+        let inv_cell = self.table().inverter(allowed).expect("complete subset has inverter");
         let inv_area = self.cell_area[&inv_cell];
 
-        let cuts = CutSet::enumerate(aig);
+        // Through the cross-run cache: a structurally-identical region (same
+        // AIG up to the extraction-order canonical node numbering) reuses
+        // its enumerated cut sets across windows, iterations, and runs.
+        let cuts = CutSet::enumerate_cached(aig);
         let refs = fanout_refs(aig);
         let n = aig.node_count();
         let mut best: Vec<[Option<PhaseBest>; 2]> = vec![[None, None]; n];
@@ -248,7 +256,7 @@ impl Mapper {
                         }
                         for (phase, pb) in phase_best.iter_mut().enumerate() {
                             let f_t = if phase == 1 { rf.not() } else { rf };
-                            for m in self.table.matches(f_t) {
+                            for m in self.table().matches(f_t) {
                                 if !allowed[m.cell.index()] {
                                     continue;
                                 }
@@ -343,7 +351,7 @@ impl Mapper {
             counter: 0,
             net_of: HashMap::new(),
             inv_cell,
-            buf_cell: self.table.buffer(allowed),
+            buf_cell: self.table().buffer(allowed),
             gates: Vec::new(),
         };
         for (i, lit) in aig.pi_lits().iter().enumerate() {

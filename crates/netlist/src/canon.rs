@@ -1,0 +1,343 @@
+//! Canonical (permutation-invariant) hashing of netlist regions.
+//!
+//! The cross-run cache (`rsyn-cache`) keys ATPG verdicts by the
+//! combinational view they were computed over. Raw `NetId`/`GateId`
+//! values are useless for that: re-parsing the same design, or rebuilding
+//! it after an unrelated edit, can renumber every net while leaving the
+//! circuit untouched. [`CanonicalView`] therefore relabels the view from
+//! its *interface out*:
+//!
+//! 1. primary inputs (real then pseudo) take canonical codes `0..n` in
+//!    interface order — declaration order, not id order;
+//! 2. gates are levelized (a gate's level is one past its deepest fanin)
+//!    and sorted within each level by `(cell, canonical fanin codes)`,
+//!    which is well-defined because every fanin lives in a lower level;
+//! 3. each gate's output nets then take the next codes in that order.
+//!
+//! The digest absorbs the library content hash, the interface shape, and
+//! every gate as `(cell, fanin codes, output arity)`, so two views hash
+//! equal only if they are the same circuit over the same library up to
+//! id renaming. Structurally duplicated gates (same cell, same fanins)
+//! tie in step 2 and fall back to traversal order, so a pathological
+//! renumbering *can* change the hash of such a view — that direction is
+//! safe (a spurious miss recomputes; it never produces a wrong hit).
+//!
+//! The side tables ([`CanonicalView::net_code`]/[`gate_code`]) let
+//! callers re-express net- and gate-addressed data (fault lists) in
+//! canonical coordinates; anything outside the view has no code, and
+//! callers must treat that subject as uncacheable.
+//!
+//! [`gate_code`]: CanonicalView::gate_code
+
+use std::collections::HashMap;
+
+use rsyn_cache::StableHasher;
+
+use crate::cell::{Cell, SpNet};
+use crate::ids::{GateId, NetId};
+use crate::library::Library;
+use crate::netlist::{CombView, Driver, Netlist};
+
+/// Canonical code of the constant-0 net (outside the sequential space).
+const CONST0_CODE: u64 = u64::MAX - 1;
+/// Canonical code of the constant-1 net.
+const CONST1_CODE: u64 = u64::MAX;
+
+/// A permutation-invariant relabeling of a [`CombView`] (see the module
+/// docs), with the 128-bit content digest and the id → code side tables.
+#[derive(Debug)]
+pub struct CanonicalView {
+    hash: u128,
+    net_code: HashMap<NetId, u64>,
+    gate_code: HashMap<GateId, u32>,
+}
+
+impl CanonicalView {
+    /// Canonicalizes `view` over `nl`. Returns `None` when the view is
+    /// not closed (a gate input without a driver inside the view — a
+    /// malformed netlist); callers treat such a subject as uncacheable.
+    pub fn of(nl: &Netlist, view: &CombView) -> Option<CanonicalView> {
+        let mut net_code: HashMap<NetId, u64> = HashMap::new();
+        for (i, &pi) in view.pis.iter().enumerate() {
+            net_code.insert(pi, i as u64);
+        }
+
+        // Levelize: a net's level is its driving gate's level; interface
+        // and constant nets sit at level 0.
+        let mut gate_level: HashMap<GateId, u32> = HashMap::new();
+        let mut ordered: Vec<(u32, GateId)> = Vec::with_capacity(view.order.len());
+        for &g in &view.order {
+            let gate = nl.gate(g)?;
+            let mut level = 0u32;
+            for &input in &gate.inputs {
+                let lvl = match nl.net(input).driver {
+                    Some(Driver::Gate(driver, _)) if gate_level.contains_key(&driver) => {
+                        gate_level[&driver]
+                    }
+                    Some(Driver::Gate(..)) => {
+                        // Driven by a gate outside (or after) the view's
+                        // topological order: not a closed region.
+                        if !net_code.contains_key(&input) {
+                            return None;
+                        }
+                        0
+                    }
+                    Some(Driver::Input) => 0,
+                    Some(Driver::Const(value)) => {
+                        net_code.insert(input, if value { CONST1_CODE } else { CONST0_CODE });
+                        0
+                    }
+                    None => return None,
+                };
+                level = level.max(lvl + 1);
+            }
+            gate_level.insert(g, level);
+            ordered.push((level, g));
+        }
+
+        // Within a level every fanin code is already assigned, so the
+        // stable sort key `(level, cell, fanin codes)` is well-defined;
+        // ties (structural duplicates) keep traversal order.
+        let mut next_code = view.pis.len() as u64;
+        let mut gate_code: HashMap<GateId, u32> = HashMap::new();
+        ordered.sort_by_key(|&(level, _)| level);
+        let mut hasher = StableHasher::new();
+        hasher.write_str("comb-view-v1");
+        let lib_hash = library_hash(nl.lib());
+        hasher.write_u64((lib_hash >> 64) as u64);
+        hasher.write_u64(lib_hash as u64);
+        hasher.write_usize(view.pis.len());
+        hasher.write_usize(view.real_pi_count);
+        hasher.write_usize(view.pos.len());
+        hasher.write_usize(view.real_po_count);
+
+        let mut cursor = 0;
+        while cursor < ordered.len() {
+            let level = ordered[cursor].0;
+            let mut end = cursor;
+            while end < ordered.len() && ordered[end].0 == level {
+                end += 1;
+            }
+            let mut keyed: Vec<(u32, Vec<u64>, GateId)> = ordered[cursor..end]
+                .iter()
+                .map(|&(_, g)| {
+                    let gate = nl.gate(g).expect("validated above");
+                    let codes = gate.inputs.iter().map(|n| net_code[n]).collect();
+                    (gate.cell.0, codes, g)
+                })
+                .collect();
+            keyed.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+            for (cell, codes, g) in keyed {
+                hasher.write_u32(cell);
+                hasher.write_usize(codes.len());
+                for code in codes {
+                    hasher.write_u64(code);
+                }
+                let gate = nl.gate(g).expect("validated above");
+                hasher.write_usize(gate.outputs.len());
+                gate_code.insert(g, gate_code.len() as u32);
+                for &out in &gate.outputs {
+                    net_code.insert(out, next_code);
+                    next_code += 1;
+                }
+            }
+            cursor = end;
+        }
+
+        for &po in &view.pos {
+            if let Some(Driver::Const(value)) = nl.net(po).driver {
+                net_code.entry(po).or_insert(if value { CONST1_CODE } else { CONST0_CODE });
+            }
+            hasher.write_u64(*net_code.get(&po)?);
+        }
+
+        Some(CanonicalView { hash: hasher.finish(), net_code, gate_code })
+    }
+
+    /// The permutation-invariant 128-bit digest of the view.
+    pub fn hash(&self) -> u128 {
+        self.hash
+    }
+
+    /// Canonical code of a net, `None` outside the view.
+    pub fn net_code(&self, net: NetId) -> Option<u64> {
+        self.net_code.get(&net).copied()
+    }
+
+    /// Canonical code of a gate, `None` outside the view.
+    pub fn gate_code(&self, gate: GateId) -> Option<u32> {
+        self.gate_code.get(&gate).copied()
+    }
+}
+
+fn absorb_spnet(h: &mut StableHasher, net: &SpNet) {
+    match net {
+        SpNet::T(t) => {
+            h.write_u8(0);
+            h.write_u16(t.id);
+            let (tag, pin) = match t.gate {
+                crate::cell::Sig::Pin(p) => (0u8, p),
+                crate::cell::Sig::NotPin(p) => (1, p),
+                crate::cell::Sig::Node(n) => (2, n),
+                crate::cell::Sig::NotNode(n) => (3, n),
+            };
+            h.write_u8(tag);
+            h.write_u8(pin);
+        }
+        SpNet::Series(children) => {
+            h.write_u8(1);
+            h.write_usize(children.len());
+            for child in children {
+                absorb_spnet(h, child);
+            }
+        }
+        SpNet::Parallel(children) => {
+            h.write_u8(2);
+            h.write_usize(children.len());
+            for child in children {
+                absorb_spnet(h, child);
+            }
+        }
+    }
+}
+
+fn absorb_cell(h: &mut StableHasher, cell: &Cell) {
+    h.write_str(&cell.name);
+    h.write_u8(match cell.class {
+        crate::cell::CellClass::Comb => 0,
+        crate::cell::CellClass::Flop => 1,
+    });
+    h.write_usize(cell.inputs.len());
+    for pin in &cell.inputs {
+        h.write_str(pin);
+    }
+    h.write_usize(cell.outputs.len());
+    for out in &cell.outputs {
+        h.write_str(&out.name);
+        h.write_usize(out.function.input_count());
+        h.write_u64(out.function.bits());
+        h.write_u8(out.stage);
+    }
+    h.write_usize(cell.stages.len());
+    for stage in &cell.stages {
+        absorb_spnet(h, &stage.pulldown);
+    }
+    h.write_f64(cell.area);
+    h.write_f64(cell.input_cap);
+    h.write_f64(cell.intrinsic_delay);
+    h.write_f64(cell.delay_slope);
+    h.write_f64(cell.leakage);
+    h.write_f64(cell.switch_energy);
+    h.write_u16(cell.transistors);
+}
+
+/// Stable 128-bit content hash of a library: every functional and
+/// physical attribute of every cell, in id order. Two libraries hash
+/// equal exactly when any cache entry derived from one is valid for the
+/// other.
+pub fn library_hash(lib: &Library) -> u128 {
+    let mut h = StableHasher::new();
+    h.write_str("library-v1");
+    h.write_usize(lib.len());
+    for (_, cell) in lib.iter() {
+        absorb_cell(&mut h, cell);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny two-level netlist; `scramble` changes the net creation
+    /// order (so every NetId differs) without changing the circuit or
+    /// its interface order.
+    fn sample(scramble: bool) -> (Netlist, CombView) {
+        let lib = Library::osu018();
+        let mut nl = Netlist::new("canon_sample", lib.clone());
+        let mut ids: HashMap<&str, NetId> = HashMap::new();
+        if scramble {
+            for name in ["y", "n2", "n1"] {
+                ids.insert(name, nl.add_named_net(name));
+            }
+            for name in ["a", "b", "c"] {
+                ids.insert(name, nl.add_input(name));
+            }
+        } else {
+            for name in ["a", "b", "c"] {
+                ids.insert(name, nl.add_input(name));
+            }
+            for name in ["n1", "n2", "y"] {
+                ids.insert(name, nl.add_named_net(name));
+            }
+        }
+        nl.mark_output(ids["y"]);
+        let and2 = lib.cell_id("AND2X2").expect("osu018 has AND2X2");
+        let or2 = lib.cell_id("OR2X2").expect("osu018 has OR2X2");
+        nl.add_gate("g1", and2, &[ids["a"], ids["b"]], &[ids["n1"]]).expect("g1");
+        nl.add_gate("g2", and2, &[ids["b"], ids["c"]], &[ids["n2"]]).expect("g2");
+        nl.add_gate("g3", or2, &[ids["n1"], ids["n2"]], &[ids["y"]]).expect("g3");
+        let view = nl.comb_view().expect("comb view");
+        (nl, view)
+    }
+
+    #[test]
+    fn hash_is_invariant_under_net_id_permutation() {
+        let (nl_a, view_a) = sample(false);
+        let (nl_b, view_b) = sample(true);
+        let ca = CanonicalView::of(&nl_a, &view_a).expect("closed view");
+        let cb = CanonicalView::of(&nl_b, &view_b).expect("closed view");
+        assert_eq!(ca.hash(), cb.hash());
+        // Matching nets get matching codes even though their ids differ.
+        let find = |nl: &Netlist, name: &str| {
+            NetId::from_index(
+                (0..nl.net_count())
+                    .position(|i| nl.net(NetId::from_index(i)).name == name)
+                    .expect("net exists"),
+            )
+        };
+        for name in ["a", "b", "c", "n1", "n2", "y"] {
+            let ia = find(&nl_a, name);
+            let ib = find(&nl_b, name);
+            assert_ne!(ia, ib, "scramble must actually renumber {name}");
+            assert_eq!(ca.net_code(ia), cb.net_code(ib), "code mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn different_circuits_hash_differently() {
+        let (nl, view) = sample(false);
+        let base = CanonicalView::of(&nl, &view).expect("closed view").hash();
+
+        let lib = Library::osu018();
+        let mut other = Netlist::new("canon_other", lib.clone());
+        let a = other.add_input("a");
+        let b = other.add_input("b");
+        let y = other.add_named_net("y");
+        other.mark_output(y);
+        let nand2 = lib.cell_id("NAND2X1").expect("osu018 has NAND2X1");
+        other.add_gate("g1", nand2, &[a, b], &[y]).expect("g1");
+        let other_view = other.comb_view().expect("comb view");
+        let other_hash = CanonicalView::of(&other, &other_view).expect("closed view").hash();
+        assert_ne!(base, other_hash);
+    }
+
+    #[test]
+    fn out_of_view_ids_have_no_code() {
+        let (nl, view) = sample(false);
+        let canon = CanonicalView::of(&nl, &view).expect("closed view");
+        assert_eq!(canon.net_code(NetId(u32::MAX)), None);
+        assert_eq!(canon.gate_code(GateId(u32::MAX)), None);
+    }
+
+    #[test]
+    fn library_hash_is_stable_and_content_sensitive() {
+        let a = library_hash(&Library::osu018());
+        let b = library_hash(&Library::osu018());
+        assert_eq!(a, b);
+        let mut cells: Vec<Cell> = Library::osu018().iter().map(|(_, c)| c.clone()).collect();
+        cells[0].area += 1.0;
+        let modified = Library::from_cells(cells);
+        assert_ne!(a, library_hash(&modified));
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod arena;
 pub mod buffering;
+pub mod canon;
 pub mod cell;
 pub mod ids;
 pub mod lanes;
@@ -57,6 +58,7 @@ pub mod validate;
 pub mod verilog;
 
 pub use arena::SimArena;
+pub use canon::{library_hash, CanonicalView};
 pub use cell::{Cell, CellClass, CellOutput, SpNet, Transistor};
 pub use ids::{CellId, GateId, NetId};
 pub use lanes::{LaneBlock, SimWord, LANES, LANE_WORDS};

@@ -317,6 +317,49 @@ pub fn restore_counters(snapshot: &BTreeMap<String, u64>) {
     lock().counters = snapshot.clone();
 }
 
+/// Adds a batch of *dynamic-name* counter deltas — the restore half of a
+/// cross-run cache hit: the deltas a compute recorded when it actually
+/// ran are re-applied verbatim when its cached result is returned, so a
+/// hit stays byte-identical to a recompute in the manifest.
+///
+/// Merge semantics are key-aware, mirroring how the counters were
+/// produced: `hist.<name>.min`/`.max` entries carry *absolute* per-run
+/// extremes and merge by min/max (exactly like
+/// `hist::merge_into_counters`); every other key is an additive delta.
+/// Zero-valued entries still create their key — a run can legitimately
+/// leave `hist.<name>.sum` at zero, and the replayed registry must carry
+/// the same keys as the original run's.
+///
+/// Dynamic keys cannot use the `&'static str` thread-local fast path, so
+/// this writes through to the registry. Like [`add`], it is dropped
+/// entirely while paused ([`pause`]): during checkpoint replay the
+/// original run's counters arrive via [`restore_counters`] instead.
+pub fn add_counters(entries: &BTreeMap<String, u64>) {
+    if entries.is_empty() || paused() {
+        return;
+    }
+    let mut r = lock();
+    for (name, n) in entries {
+        if name.starts_with("hist.") && name.ends_with(".min") {
+            let e = r.counters.entry(name.clone()).or_insert(*n);
+            *e = (*e).min(*n);
+        } else if name.starts_with("hist.") && name.ends_with(".max") {
+            let e = r.counters.entry(name.clone()).or_insert(*n);
+            *e = (*e).max(*n);
+        } else {
+            *r.counters.entry(name.clone()).or_insert(0) += n;
+        }
+    }
+}
+
+/// True while a [`pause`] guard is live. Callers that persist counter
+/// deltas (the cross-run verdict cache) consult this to avoid storing
+/// deltas measured while recording was suspended — such a delta would be
+/// empty and would poison every later cache hit.
+pub fn is_paused() -> bool {
+    paused()
+}
+
 /// Adds `v` to the volatile (non-deterministic) metric `name`.
 ///
 /// Volatile keys may be dynamic (`atpg.worker3.busy_ms`), so this writes

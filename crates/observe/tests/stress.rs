@@ -23,8 +23,8 @@ const KEYS: [&str; 4] = ["stress.alpha", "stress.beta", "stress.gamma", "stress.
 fn work_item(i: usize) {
     add(KEYS[i % KEYS.len()], (i % 7 + 1) as u64);
     hist_add("stress.value", ((i * i) % 5_000) as u64);
-    hist_add("stress.zeroes", i.is_multiple_of(3) as u64);
-    if i.is_multiple_of(16) {
+    hist_add("stress.zeroes", (i % 3 == 0) as u64);
+    if i % 16 == 0 {
         let _s = span("stress.unit");
     }
 }

@@ -292,7 +292,7 @@ impl Placement {
                             let cost = (x - centroid.0).abs() + (y - centroid.1).abs();
                             let slot =
                                 Slot { row: row as u32, site: pos as u32, width: width as u32 };
-                            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
                                 best = Some((cost, slot));
                             }
                         }

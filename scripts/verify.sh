@@ -1,92 +1,155 @@
 #!/usr/bin/env bash
-# Repository verification gate: formatting, lints, docs, build, the tier-1
-# test suite, and the observability smoke gate (manifest determinism +
-# baseline diff). Run from anywhere; everything is offline.
+# Repository verification gate. Stages (pass one as $1, default `all`):
+#
+#   lint   — formatting, clippy, rustdoc (fast; no build artifacts needed)
+#   gates  — release build, tier-1 tests, and every behavioural gate:
+#            manifest determinism + baselines, failure injection,
+#            checkpoint/resume, warm cross-run cache, perf trajectory
+#   all    — both, in order
+#
+# CI runs `lint` and `gates` as parallel jobs. Run from anywhere;
+# everything is offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --all --check
+run_lint() {
+  echo "== cargo fmt --check"
+  cargo fmt --all --check
 
-echo "== cargo clippy (workspace, all targets, -D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+  echo "== cargo clippy (workspace, all targets, -D warnings)"
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo doc (workspace, no deps, -D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+  echo "== cargo doc (workspace, no deps, -D warnings)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
 
-echo "== cargo build --release"
-cargo build --release --workspace
+run_gates() {
+  echo "== cargo build --release"
+  cargo build --release --workspace
 
-echo "== cargo test -q (tier-1)"
-cargo test -q
+  echo "== cargo test -q (tier-1)"
+  cargo test -q
 
-echo "== manifest smoke gate (smallest benchmark, threads 1 vs 4)"
-# Run the smallest Table I benchmark at two worker counts; the stable part
-# of the manifests must be byte-identical, and the single-thread manifest
-# must match the checked-in baseline exactly (counters and results).
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
-CHECK=target/release/check_manifest
+  # The gates assert exact manifests; an inherited cache directory would
+  # add cache traffic (and counters) the baselines don't carry. Every
+  # cache-aware gate below opts in with an explicit per-run directory.
+  unset RSYN_CACHE_DIR
 
-RSYN_MANIFEST_DIR="$SMOKE_DIR/t1" target/release/table1 --threads 1 sparc_tlu >/dev/null
-RSYN_MANIFEST_DIR="$SMOKE_DIR/t4" target/release/table1 --threads 4 sparc_tlu >/dev/null
-"$CHECK" --determinism "$SMOKE_DIR/t1/manifest-table1.json" "$SMOKE_DIR/t4/manifest-table1.json"
-"$CHECK" --no-timings results/baselines/manifest-table1.json "$SMOKE_DIR/t1/manifest-table1.json"
+  echo "== manifest smoke gate (smallest benchmark, threads 1 vs 4)"
+  # Run the smallest Table I benchmark at two worker counts; the stable part
+  # of the manifests must be byte-identical, and the single-thread manifest
+  # must match the checked-in baseline exactly (counters and results).
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  CHECK=target/release/check_manifest
 
-RSYN_MANIFEST_DIR="$SMOKE_DIR/gs" target/release/guideline_stats sparc_tlu >/dev/null
-"$CHECK" --no-timings results/baselines/manifest-guideline_stats.json \
-  "$SMOKE_DIR/gs/manifest-guideline_stats.json"
+  RSYN_MANIFEST_DIR="$SMOKE_DIR/t1" target/release/table1 --threads 1 sparc_tlu >/dev/null
+  RSYN_MANIFEST_DIR="$SMOKE_DIR/t4" target/release/table1 --threads 4 sparc_tlu >/dev/null
+  "$CHECK" --determinism "$SMOKE_DIR/t1/manifest-table1.json" "$SMOKE_DIR/t4/manifest-table1.json"
+  "$CHECK" --no-timings results/baselines/manifest-table1.json "$SMOKE_DIR/t1/manifest-table1.json"
 
-echo "== failure-injection smoke gate (forced rejection/inflation/abort/shard loss)"
-# The resilient flow driver must absorb every injected failure (the bin
-# itself asserts recovery and that backtracking ran), and the injected run
-# must stay deterministic across worker counts and match its baseline.
-SMOKE=target/release/resilience_smoke
-RSYN_MANIFEST_DIR="$SMOKE_DIR/i1" "$SMOKE" --inject --threads 1 sparc_tlu >/dev/null
-RSYN_MANIFEST_DIR="$SMOKE_DIR/i4" "$SMOKE" --inject --threads 4 sparc_tlu >/dev/null
-"$CHECK" --determinism "$SMOKE_DIR/i1/manifest-resilience.json" \
-  "$SMOKE_DIR/i4/manifest-resilience.json"
-"$CHECK" --no-timings results/baselines/manifest-resilience.json \
-  "$SMOKE_DIR/i1/manifest-resilience.json"
+  RSYN_MANIFEST_DIR="$SMOKE_DIR/gs" target/release/guideline_stats sparc_tlu >/dev/null
+  "$CHECK" --no-timings results/baselines/manifest-guideline_stats.json \
+    "$SMOKE_DIR/gs/manifest-guideline_stats.json"
 
-echo "== checkpoint/resume determinism gate"
-# A clean checkpointed run, resumed from its first checkpoint, must re-write
-# the later checkpoints byte-identically and land on the byte-identical
-# stable manifest.
-RSYN_MANIFEST_DIR="$SMOKE_DIR/cm" "$SMOKE" --threads 4 \
-  --checkpoint-dir "$SMOKE_DIR/ck" sparc_tlu >/dev/null
-RSYN_MANIFEST_DIR="$SMOKE_DIR/rm" "$SMOKE" --threads 4 \
-  --resume "$SMOKE_DIR/ck/checkpoint-resilience-001.json" \
-  --checkpoint-dir "$SMOKE_DIR/rk" sparc_tlu >/dev/null
-for ck in "$SMOKE_DIR"/rk/checkpoint-resilience-[0-9]*.json; do
-  "$CHECK" --determinism "$SMOKE_DIR/ck/$(basename "$ck")" "$ck"
-done
-"$CHECK" --determinism "$SMOKE_DIR/cm/manifest-resilience.json" \
-  "$SMOKE_DIR/rm/manifest-resilience.json"
+  echo "== failure-injection smoke gate (forced rejection/inflation/abort/shard loss)"
+  # The resilient flow driver must absorb every injected failure (the bin
+  # itself asserts recovery and that backtracking ran), and the injected run
+  # must stay deterministic across worker counts and match its baseline.
+  SMOKE=target/release/resilience_smoke
+  RSYN_MANIFEST_DIR="$SMOKE_DIR/i1" "$SMOKE" --inject --threads 1 sparc_tlu >/dev/null
+  RSYN_MANIFEST_DIR="$SMOKE_DIR/i4" "$SMOKE" --inject --threads 4 sparc_tlu >/dev/null
+  "$CHECK" --determinism "$SMOKE_DIR/i1/manifest-resilience.json" \
+    "$SMOKE_DIR/i4/manifest-resilience.json"
+  "$CHECK" --no-timings results/baselines/manifest-resilience.json \
+    "$SMOKE_DIR/i1/manifest-resilience.json"
 
-echo "== perf-trajectory gate (structured tracing + BENCH_flow regression bands)"
-# A traced flow run must emit a non-empty Chrome trace, its BENCH_flow.json
-# deterministic section (counters, histograms, results) must be
-# byte-identical across worker counts, and the single-thread manifest must
-# stay inside the regression bands of the checked-in trajectory baseline:
-# exact on counters/results, a 200x band on span wall times (generous —
-# CI machines vary wildly; tighten to catch structural regressions only),
-# catastrophic-only 1000x on everything else volatile.
-TRACE=target/release/trace_report
-"$TRACE" --threads 1 --out "$SMOKE_DIR/f1" sparc_tlu >/dev/null
-"$TRACE" --threads 4 --out "$SMOKE_DIR/f4" sparc_tlu >/dev/null
-"$CHECK" --determinism "$SMOKE_DIR/f1/BENCH_flow.json" "$SMOKE_DIR/f4/BENCH_flow.json"
-for t in "$SMOKE_DIR"/f1/trace.json "$SMOKE_DIR"/f4/trace.json; do
-  grep -q '"ph":"X"' "$t" || { echo "perf gate FAILED: $t has no complete events"; exit 1; }
-done
-# The simulation kernel must stay inside the measured trajectory: the arena
-# build and the good-machine simulation spans record (volatile) wall times
-# in every traced run. If they vanish, the kernel was silently bypassed.
-for span in span.sim.build.wall_ms span.sim.good.wall_ms; do
-  grep -q "\"$span\"" "$SMOKE_DIR/f1/BENCH_flow.json" \
-    || { echo "perf gate FAILED: $span missing from BENCH_flow.json"; exit 1; }
-done
-"$CHECK" --timing-tolerance 1000 --band span.=200 --band run.wall_ms=200 \
-  results/baselines/BENCH_flow.json "$SMOKE_DIR/f1/BENCH_flow.json"
+  echo "== checkpoint/resume determinism gate"
+  # A clean checkpointed run, resumed from its first checkpoint, must re-write
+  # the later checkpoints byte-identically and land on the byte-identical
+  # stable manifest.
+  RSYN_MANIFEST_DIR="$SMOKE_DIR/cm" "$SMOKE" --threads 4 \
+    --checkpoint-dir "$SMOKE_DIR/ck" sparc_tlu >/dev/null
+  RSYN_MANIFEST_DIR="$SMOKE_DIR/rm" "$SMOKE" --threads 4 \
+    --resume "$SMOKE_DIR/ck/checkpoint-resilience-001.json" \
+    --checkpoint-dir "$SMOKE_DIR/rk" sparc_tlu >/dev/null
+  for ck in "$SMOKE_DIR"/rk/checkpoint-resilience-[0-9]*.json; do
+    "$CHECK" --determinism "$SMOKE_DIR/ck/$(basename "$ck")" "$ck"
+  done
+  "$CHECK" --determinism "$SMOKE_DIR/cm/manifest-resilience.json" \
+    "$SMOKE_DIR/rm/manifest-resilience.json"
 
-echo "verify: OK"
+  echo "== warm-cache gate (cold vs warm runs over a shared RSYN_CACHE_DIR)"
+  # A cold run with the cross-run cache enabled must match the cache-free
+  # baseline exactly outside the `cache.*` counter namespace; a warm second
+  # run (same cache directory, fresh process) must hit all three cache
+  # domains and still produce the byte-identical stable manifest — at the
+  # cold run's thread count and at a different one. Finally, corrupting
+  # every on-disk entry must be detected, degrade to recompute, and leave
+  # the manifest unchanged.
+  CACHE_DIR="$SMOKE_DIR/cache"
+  REQUIRE_HITS=(--require cache.hit --require cache.match.hit \
+    --require cache.cuts.hit --require cache.verdicts.hit)
+  RSYN_CACHE_DIR="$CACHE_DIR" RSYN_MANIFEST_DIR="$SMOKE_DIR/c1" \
+    target/release/table1 --threads 1 sparc_tlu >/dev/null
+  "$CHECK" --no-timings --ignore cache. \
+    results/baselines/manifest-table1.json "$SMOKE_DIR/c1/manifest-table1.json"
+  RSYN_CACHE_DIR="$CACHE_DIR" RSYN_MANIFEST_DIR="$SMOKE_DIR/w1" \
+    target/release/table1 --threads 1 sparc_tlu >/dev/null
+  "$CHECK" --determinism --ignore cache. "${REQUIRE_HITS[@]}" \
+    "$SMOKE_DIR/c1/manifest-table1.json" "$SMOKE_DIR/w1/manifest-table1.json"
+  RSYN_CACHE_DIR="$CACHE_DIR" RSYN_MANIFEST_DIR="$SMOKE_DIR/w4" \
+    target/release/table1 --threads 4 sparc_tlu >/dev/null
+  "$CHECK" --determinism --ignore cache. "${REQUIRE_HITS[@]}" \
+    "$SMOKE_DIR/c1/manifest-table1.json" "$SMOKE_DIR/w4/manifest-table1.json"
+  # Corruption: truncate every stored entry by one byte (breaks the payload
+  # checksum), so every disk lookup must report Corrupt and recompute.
+  find "$CACHE_DIR" -name '*.bin' -exec truncate -s -1 {} +
+  RSYN_CACHE_DIR="$CACHE_DIR" RSYN_MANIFEST_DIR="$SMOKE_DIR/wc" \
+    target/release/table1 --threads 1 sparc_tlu >/dev/null
+  "$CHECK" --determinism --ignore cache. --require cache.corrupt \
+    "$SMOKE_DIR/c1/manifest-table1.json" "$SMOKE_DIR/wc/manifest-table1.json"
+
+  echo "== perf-trajectory gate (structured tracing + BENCH_flow regression bands)"
+  # A traced flow run must emit a non-empty Chrome trace, its BENCH_flow.json
+  # deterministic section (counters, histograms, results) must be
+  # byte-identical across worker counts, and the single-thread manifest must
+  # stay inside the regression bands of the checked-in trajectory baseline:
+  # exact on counters/results, a 200x band on span wall times (generous —
+  # CI machines vary wildly; tighten to catch structural regressions only),
+  # catastrophic-only 1000x on everything else volatile. Each run gets its
+  # own fresh cache directory: both run cold, so the deterministic
+  # `cache.*.miss` counters agree and the `span.cache.*` timings exist.
+  TRACE=target/release/trace_report
+  RSYN_CACHE_DIR="$SMOKE_DIR/pc1" "$TRACE" --threads 1 --out "$SMOKE_DIR/f1" sparc_tlu >/dev/null
+  RSYN_CACHE_DIR="$SMOKE_DIR/pc4" "$TRACE" --threads 4 --out "$SMOKE_DIR/f4" sparc_tlu >/dev/null
+  "$CHECK" --determinism "$SMOKE_DIR/f1/BENCH_flow.json" "$SMOKE_DIR/f4/BENCH_flow.json"
+  for t in "$SMOKE_DIR"/f1/trace.json "$SMOKE_DIR"/f4/trace.json; do
+    grep -q '"ph":"X"' "$t" || { echo "perf gate FAILED: $t has no complete events"; exit 1; }
+  done
+  # The simulation kernel and the cache layer must stay inside the measured
+  # trajectory: their spans record (volatile) wall times in every traced
+  # run. If they vanish, the corresponding layer was silently bypassed.
+  for span in span.sim.build.wall_ms span.sim.good.wall_ms span.cache.lookup.wall_ms; do
+    grep -q "\"$span\"" "$SMOKE_DIR/f1/BENCH_flow.json" \
+      || { echo "perf gate FAILED: $span missing from BENCH_flow.json"; exit 1; }
+  done
+  "$CHECK" --timing-tolerance 1000 --band span.=200 --band run.wall_ms=200 \
+    results/baselines/BENCH_flow.json "$SMOKE_DIR/f1/BENCH_flow.json"
+}
+
+STAGE="${1:-all}"
+case "$STAGE" in
+  lint) run_lint ;;
+  gates) run_gates ;;
+  all)
+    run_lint
+    run_gates
+    ;;
+  *)
+    echo "usage: $0 [lint|gates|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "verify ($STAGE): OK"

@@ -21,6 +21,7 @@
 //!   abort-escalation retry policies, and checkpoint/resume.
 
 pub use rsyn_atpg as atpg;
+pub use rsyn_cache as cache;
 pub use rsyn_circuits as circuits;
 pub use rsyn_cluster as cluster;
 pub use rsyn_core as core;
