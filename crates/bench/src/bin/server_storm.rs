@@ -1,0 +1,399 @@
+//! Storm gate for the fault-tolerant flow service (`rsyn-server`).
+//!
+//! Three phases, all asserted in-process (exit 1 on any gate failure):
+//!
+//! 1. **Storm** — a 4-worker server with a small bounded queue takes a
+//!    burst of hundreds of concurrent submissions from parallel
+//!    submitter threads over a handful of unique (circuit, q) jobs, so
+//!    coalescing, load shedding, deadlines, and cancellation all trigger
+//!    at once. Under `--inject`, a deterministic plan crashes workers,
+//!    fails checkpoint writes, aborts PODEM searches, and sheds
+//!    submissions at fixed ordinals; shed clients retry under the
+//!    deterministic jittered [`BackoffPolicy`]. Gates: **zero lost
+//!    jobs** (every submission reaches a terminal outcome; the job
+//!    conservation law balances), no failed jobs, every armed server
+//!    fate actually fired.
+//! 2. **Preemption** — a 2-worker server is saturated with low-priority
+//!    `sparc_tlu` jobs, then high-priority `sparc_ffu` jobs arrive. The
+//!    victims stop at a checkpoint boundary, the high jobs run, and the
+//!    victims resume from their checkpoints. Gates: preemptions and
+//!    resumes observed, everything completes.
+//! 3. **Equivalence** — every unique (circuit, q) completed by phases
+//!    1–2 is re-run directly through `rsyn_core::run`; the server's
+//!    result digest (fault verdicts + all headline metrics, floats by
+//!    bit pattern) must be byte-identical — including for the
+//!    preempted-then-resumed jobs.
+//!
+//! Writes a `server_storm` manifest; the verify stage then checks the
+//! `server.{shed,retry,resume}` counters are present and nonzero.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rsyn_bench::{context_with_threads, threads_flag, write_manifest};
+use rsyn_circuits::build_benchmark_with;
+use rsyn_core::{run, FlowContext, FlowOptions};
+use rsyn_netlist::Netlist;
+use rsyn_observe::manifest::Run;
+use rsyn_resilience::inject::{self, InjectionPlan};
+use rsyn_resilience::BackoffPolicy;
+use rsyn_server::{
+    report_digest, JobHandle, JobOutcome, JobSpec, Priority, Server, ServerConfig, SubmitVerdict,
+};
+
+/// The unique storm jobs: mixed sizes (sparc_ffu is fast, sparc_tlu is
+/// several times longer), several relaxations each.
+const STORM_JOBS: [(&str, f64); 6] = [
+    ("sparc_ffu", 3.0),
+    ("sparc_ffu", 4.0),
+    ("sparc_ffu", 5.0),
+    ("sparc_ffu", 6.0),
+    ("sparc_tlu", 5.0),
+    ("sparc_tlu", 6.0),
+];
+const SUBMITTERS: usize = 8;
+const ROUNDS: usize = 5;
+
+/// The server-fate injection plan. Pickup ordinals 0 and 3 crash their
+/// worker, checkpoint-write ordinals 1 and 5 fail, four submission
+/// ordinals are shed (clients retry), and the first ATPG run's first
+/// eight faults get PODEM aborts (rescued by escalation, so results stay
+/// equivalent to a clean run).
+fn storm_plan() -> InjectionPlan {
+    let mut plan = InjectionPlan::new()
+        .crash_worker(0)
+        .crash_worker(3)
+        .fail_checkpoint_write(1)
+        .fail_checkpoint_write(5)
+        .reject_submit(3)
+        .reject_submit(10)
+        .reject_submit(25)
+        .reject_submit(50);
+    for fault in 0..8 {
+        plan = plan.abort_podem(0, fault);
+    }
+    plan
+}
+
+fn seed_netlist(ctx: &FlowContext, circuit: &str) -> Netlist {
+    build_benchmark_with(circuit, &ctx.lib, &ctx.mapper)
+        .unwrap_or_else(|| panic!("unknown benchmark {circuit}"))
+}
+
+fn job_label(circuit: &str, q: f64) -> String {
+    format!("{circuit}-q{q}")
+}
+
+/// Submits with client-side retry of shed verdicts under the
+/// deterministic jittered backoff policy. Returns the handle and how
+/// many sheds were absorbed.
+fn submit_with_retry(server: &Server, make: impl Fn() -> JobSpec, key: u64) -> (JobHandle, u64) {
+    let policy = BackoffPolicy { base_ms: 5, factor: 2, cap_ms: 80, jitter_percent: 25, seed: 7 };
+    let mut attempt = 0u32;
+    loop {
+        match server.submit(make()) {
+            SubmitVerdict::Shed => {
+                std::thread::sleep(Duration::from_millis(policy.delay_ms(key, attempt)));
+                attempt += 1;
+            }
+            verdict => {
+                let handle = verdict.handle().expect("not shed").clone();
+                return (handle, u64::from(attempt));
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_flag(&mut args);
+    let injected = args.iter().position(|a| a == "--inject").map(|i| args.remove(i)).is_some();
+    let work = args
+        .iter()
+        .position(|a| a == "--work-dir")
+        .map(|i| {
+            let dir = PathBuf::from(&args[i + 1]);
+            args.drain(i..=i + 1);
+            dir
+        })
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("rsyn-server-storm-{}", std::process::id()))
+        });
+    let _ = std::fs::remove_dir_all(&work);
+
+    let ctx = context_with_threads(threads);
+    let mut manifest = Run::start("server_storm", ctx.seed);
+    manifest.record_threads(threads, ctx.atpg.effective_threads());
+    let netlists: BTreeMap<&str, Netlist> =
+        ["sparc_ffu", "sparc_tlu"].into_iter().map(|c| (c, seed_netlist(&ctx, c))).collect();
+    let mut failures: Vec<String> = Vec::new();
+    // First-seen result digest per unique job; every later completion of
+    // the same (circuit, q) — server or direct — must match it.
+    let mut digests: BTreeMap<String, String> = BTreeMap::new();
+    let check_digest = |digests: &mut BTreeMap<String, String>,
+                        failures: &mut Vec<String>,
+                        label: &str,
+                        digest: String| {
+        match digests.get(label) {
+            None => {
+                digests.insert(label.to_string(), digest);
+            }
+            Some(first) if *first != digest => {
+                failures.push(format!("result divergence for {label}"));
+            }
+            Some(_) => {}
+        }
+    };
+
+    // ---- Phase 1: the storm -------------------------------------------
+    eprintln!(
+        "phase 1: storm of {} submissions over {} unique jobs{}",
+        SUBMITTERS * ROUNDS * STORM_JOBS.len() + 3,
+        STORM_JOBS.len(),
+        if injected { " (injection armed)" } else { "" },
+    );
+    let armed = injected.then(|| inject::arm(storm_plan()));
+    let mut cfg = ServerConfig::new(work.join("storm"));
+    cfg.workers = 4;
+    cfg.queue_capacity = 16;
+    let server = Server::start(cfg, ctx.lib.clone());
+    let storm_started = Instant::now();
+
+    // Specials: two hopeless deadlines and one cancellation, on unique q
+    // values so they do not coalesce with the real work.
+    let nl = &netlists["sparc_ffu"];
+    let hopeless: Vec<JobHandle> = [99.0, 98.0]
+        .into_iter()
+        .map(|q| {
+            let spec =
+                JobSpec::new(nl.clone(), "sparc_ffu").with_q(q).with_deadline(Duration::ZERO);
+            server.submit(spec).handle().expect("queued").clone()
+        })
+        .collect();
+    let doomed = {
+        let spec = JobSpec::new(nl.clone(), "sparc_ffu").with_q(97.0);
+        let handle = server.submit(spec).handle().expect("queued").clone();
+        handle.cancel();
+        handle
+    };
+
+    let client_sheds = AtomicU64::new(0);
+    let submitted: Mutex<Vec<(usize, JobHandle)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for submitter in 0..SUBMITTERS {
+            let server = &server;
+            let netlists = &netlists;
+            let client_sheds = &client_sheds;
+            let submitted = &submitted;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for (job, (circuit, q)) in STORM_JOBS.into_iter().enumerate() {
+                        let make = || JobSpec::new(netlists[circuit].clone(), circuit).with_q(q);
+                        let retry_key = (submitter * ROUNDS + round) as u64;
+                        let (handle, sheds) = submit_with_retry(server, make, retry_key);
+                        client_sheds.fetch_add(sheds, Ordering::Relaxed);
+                        submitted.lock().expect("submitters do not panic").push((job, handle));
+                    }
+                }
+            });
+        }
+    });
+
+    let submissions = submitted.into_inner().expect("scope joined");
+    for (job, handle) in &submissions {
+        let (circuit, q) = STORM_JOBS[*job];
+        match handle.wait() {
+            JobOutcome::Completed(report) => {
+                check_digest(
+                    &mut digests,
+                    &mut failures,
+                    &job_label(circuit, q),
+                    report_digest(&report),
+                );
+            }
+            other => failures.push(format!(
+                "storm job {} lost: terminal outcome {}",
+                job_label(circuit, q),
+                other.label()
+            )),
+        }
+    }
+    for handle in &hopeless {
+        if !matches!(handle.wait(), JobOutcome::DeadlineExceeded) {
+            failures.push("zero-deadline job did not report DeadlineExceeded".into());
+        }
+    }
+    if !matches!(doomed.wait(), JobOutcome::Cancelled) {
+        failures.push("cancelled job did not report Cancelled".into());
+    }
+
+    let storm_stats = server.shutdown();
+    let storm_secs = storm_started.elapsed().as_secs_f64();
+    eprintln!(
+        "phase 1 done in {storm_secs:.1}s: {} submissions -> {} completed jobs \
+         ({} coalesced, {} shed, {} retries, {} contained panics)",
+        storm_stats.submitted,
+        storm_stats.completed,
+        storm_stats.coalesced,
+        storm_stats.shed,
+        storm_stats.retries,
+        storm_stats.panics,
+    );
+
+    // Zero lost jobs, as a conservation law: every accepted submission
+    // became exactly one job, and every job reached exactly one terminal
+    // outcome.
+    let jobs_created = storm_stats.submitted - storm_stats.coalesced - storm_stats.shed;
+    let jobs_finished =
+        storm_stats.completed + storm_stats.failed + storm_stats.cancelled + storm_stats.deadline;
+    if jobs_created != jobs_finished {
+        failures.push(format!(
+            "job conservation violated: {jobs_created} jobs created, {jobs_finished} finished"
+        ));
+    }
+    if storm_stats.failed != 0 {
+        failures.push(format!("{} jobs failed outright", storm_stats.failed));
+    }
+    if storm_stats.shed != client_sheds.load(Ordering::Relaxed) {
+        failures.push(format!(
+            "shed accounting mismatch: server {} vs clients {}",
+            storm_stats.shed,
+            client_sheds.load(Ordering::Relaxed)
+        ));
+    }
+    if storm_stats.coalesced == 0 {
+        failures.push("the storm never coalesced identical submissions".into());
+    }
+    if let Some(armed) = &armed {
+        let fired = armed.fired_counts();
+        for (name, expected) in [
+            ("inject.fired.worker_crash", 2),
+            ("inject.fired.checkpoint_write", 2),
+            ("inject.fired.queue_full", 4),
+        ] {
+            let n = fired.get(name).copied().unwrap_or(0);
+            if n != expected {
+                failures.push(format!("{name} fired {n} times, expected {expected}"));
+            }
+        }
+        if fired.get("inject.fired.podem_abort").copied().unwrap_or(0) == 0 {
+            failures.push("no PODEM abort fired".into());
+        }
+        if storm_stats.retries == 0 {
+            failures.push("worker crashes did not drive backoff retries".into());
+        }
+    }
+    drop(armed);
+
+    // ---- Phase 2: checkpoint-backed preemption ------------------------
+    eprintln!("phase 2: preemption of low-priority jobs under high-priority arrivals");
+    let mut cfg = ServerConfig::new(work.join("preempt"));
+    cfg.workers = 2;
+    let server = Server::start(cfg, ctx.lib.clone());
+    let low: Vec<(String, JobHandle)> = [5.0, 6.0]
+        .into_iter()
+        .map(|q| {
+            let spec = JobSpec::new(netlists["sparc_tlu"].clone(), "sparc_tlu")
+                .with_q(q)
+                .with_priority(Priority::Low);
+            let handle = server.submit(spec).handle().expect("queued").clone();
+            (job_label("sparc_tlu", q), handle)
+        })
+        .collect();
+    // Wait until both low jobs have written their first checkpoint, so a
+    // preemption now is checkpoint-backed (the victim resumes from disk
+    // instead of restarting from scratch).
+    let checkpoint_wait = Instant::now();
+    while !low.iter().all(|(_, h)| server.has_checkpoint(h))
+        && checkpoint_wait.elapsed() < Duration::from_secs(120)
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let high: Vec<(String, JobHandle)> = [3.0, 4.0]
+        .into_iter()
+        .map(|q| {
+            let spec = JobSpec::new(netlists["sparc_ffu"].clone(), "sparc_ffu")
+                .with_q(q)
+                .with_priority(Priority::High);
+            let handle = server.submit(spec).handle().expect("queued").clone();
+            (job_label("sparc_ffu", q), handle)
+        })
+        .collect();
+    for (label, handle) in low.iter().chain(high.iter()) {
+        match handle.wait() {
+            JobOutcome::Completed(report) => {
+                check_digest(&mut digests, &mut failures, label, report_digest(&report));
+            }
+            other => {
+                failures.push(format!("preemption-phase job {label} ended {}", other.label()));
+            }
+        }
+    }
+    let preempt_stats = server.shutdown();
+    eprintln!(
+        "phase 2 done: {} preemptions, {} resumes, {} completed",
+        preempt_stats.preempts, preempt_stats.resumes, preempt_stats.completed,
+    );
+    if preempt_stats.preempts == 0 {
+        failures.push("high-priority arrivals never preempted a low job".into());
+    }
+    if preempt_stats.resumes == 0 {
+        failures.push("no preempted job resumed from its checkpoint".into());
+    }
+    if preempt_stats.completed != 4 {
+        failures.push(format!("preemption phase completed {}/4 jobs", preempt_stats.completed));
+    }
+
+    // ---- Phase 3: equivalence with direct runs ------------------------
+    eprintln!("phase 3: direct rsyn_core::run equivalence over {} unique jobs", digests.len());
+    for (circuit, q) in STORM_JOBS {
+        let label = job_label(circuit, q);
+        if !digests.contains_key(&label) {
+            failures.push(format!("no completed server execution for {label}"));
+            continue;
+        }
+        let mut options = FlowOptions::new(circuit, &format!("direct-{label}"));
+        options.q_percent = q;
+        match run(netlists[circuit].clone(), &ctx, &options) {
+            Ok(report) => {
+                let digest = report_digest(&report);
+                if digests[&label] != digest {
+                    failures.push(format!("server result for {label} differs from direct run"));
+                }
+            }
+            Err(e) => failures.push(format!("direct run of {label} failed: {e}")),
+        }
+    }
+
+    manifest.result("unique_jobs", digests.len().to_string());
+    manifest.result("storm_submitted", storm_stats.submitted.to_string());
+    manifest.result("storm_coalesced", storm_stats.coalesced.to_string());
+    manifest.result("storm_shed", storm_stats.shed.to_string());
+    manifest.result("storm_completed", storm_stats.completed.to_string());
+    manifest.result("preempts", preempt_stats.preempts.to_string());
+    manifest.result("resumes", preempt_stats.resumes.to_string());
+    manifest
+        .result_f64("storm_jobs_per_sec", f64::max(storm_stats.completed as f64 / storm_secs, 0.0));
+    write_manifest(manifest);
+
+    let _ = std::fs::remove_dir_all(&work);
+    if failures.is_empty() {
+        println!(
+            "server storm ok: {} submissions, {} unique jobs, zero lost, results \
+             equivalent to direct runs ({:.2} jobs/s)",
+            storm_stats.submitted,
+            digests.len(),
+            storm_stats.completed as f64 / storm_secs,
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("storm FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -26,7 +26,7 @@
 //! A cache hit must be byte-identical to a recompute. The flow enforces
 //! this by construction (canonical keys cover every input the payload
 //! depends on) and observes it through deterministic `rsyn-observe`
-//! counters: `cache.{hit,miss,evict,corrupt}` plus per-domain
+//! counters: `cache.{hit,miss,evict,corrupt,write_err}` plus per-domain
 //! `cache.<domain>.{hit,miss}`. All cache operations happen on the flow
 //! thread, so the counters are thread-count independent and ride through
 //! the existing manifest determinism gate. Cold and warm runs disagree
@@ -250,15 +250,21 @@ pub fn lookup(domain: Domain, key: u128) -> Option<Arc<Vec<u8>>> {
 }
 
 /// Stores a payload under a key: memory front plus on-disk entry.
-/// No-op when the cache is disabled. Disk I/O failures leave the memory
-/// entry in place and are reported only as a volatile metric (they are
-/// machine state, not flow state — deterministic counters must not see
-/// them).
+/// No-op when the cache is disabled.
+///
+/// Disk writes are **fail-soft**: an I/O error (read-only root, disk
+/// full, a file squatting on the directory path) bumps the
+/// `cache.write_err` counter and the `cache.io_errors` volatile metric
+/// and leaves the memory entry in place — the run continues and later
+/// lookups simply recompute. `cache.write_err` lives in the `cache.*`
+/// namespace, which every determinism gate either never populates (the
+/// cache is disabled there) or explicitly ignores (`--ignore cache.`).
 pub fn store(domain: Domain, key: u128, payload: &[u8]) {
     let Some(root) = disk_root() else { return };
     let _span = rsyn_observe::span_volatile("cache.store");
     mem_insert(domain, key, Arc::new(payload.to_vec()));
     if store::save(&root, domain.name(), domain.version(), key, payload).is_err() {
+        rsyn_observe::add("cache.write_err", 1);
         rsyn_observe::volatile_add("cache.io_errors", 1.0);
     }
 }
@@ -331,6 +337,40 @@ mod tests {
             clear_memory();
             assert!(lookup(Domain::Verdicts, 9).is_some());
         });
+    }
+
+    #[test]
+    fn unwritable_root_fails_soft_with_write_err_counter() {
+        // The test process may run as root, which ignores permission
+        // bits — so an "unwritable RSYN_CACHE_DIR" is modelled as a path
+        // whose parent is a regular *file*: `create_dir_all` fails with
+        // NotADirectory for every uid.
+        let _iso = rsyn_observe::isolation_lock();
+        let file =
+            std::env::temp_dir().join(format!("rsyn-cache-lib-unwritable-{}", std::process::id()));
+        std::fs::write(&file, b"i am a file, not a cache root").expect("plant file");
+        clear_memory();
+        set_disk_root(Some(&file));
+        let before = rsyn_observe::counter("cache.write_err");
+
+        // The store must not abort; the memory front still serves the
+        // entry within this run.
+        store(Domain::Match, 11, b"survives in memory");
+        assert_eq!(rsyn_observe::counter("cache.write_err"), before + 1);
+        assert_eq!(
+            lookup(Domain::Match, 11).expect("memory front").as_slice(),
+            b"survives in memory"
+        );
+
+        // Across a "restart" (memory dropped) nothing was persisted: the
+        // lookup is a plain miss and the caller recomputes.
+        clear_memory();
+        assert!(lookup(Domain::Match, 11).is_none(), "nothing reached disk");
+        assert_eq!(rsyn_observe::counter("cache.write_err"), before + 1, "lookup adds none");
+
+        set_disk_root(None);
+        clear_memory();
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

@@ -171,6 +171,47 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_writers_of_the_same_key_both_succeed() {
+        // Two threads race the tmp+rename dance on the same final path.
+        // Unique temp names make the race benign: both writes must
+        // succeed and the installed entry must be one of the two
+        // payloads, checksum-intact (a torn mix would load as Corrupt).
+        let root = scratch_root("race");
+        for round in 0..24u128 {
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+            let payloads: [&[u8]; 2] = [b"alpha payload", b"bravo payload!"];
+            std::thread::scope(|scope| {
+                for payload in payloads {
+                    let root = root.clone();
+                    let barrier = barrier.clone();
+                    scope.spawn(move || {
+                        barrier.wait();
+                        save(&root, "demo", 1, round, payload).expect("racing save succeeds");
+                    });
+                }
+            });
+            match load(&root, "demo", 1, round) {
+                Load::Hit(bytes) => assert!(
+                    payloads.contains(&bytes.as_slice()),
+                    "round {round}: entry must be exactly one writer's payload"
+                ),
+                Load::Miss => panic!("round {round}: both writers vanished"),
+                Load::Corrupt => panic!("round {round}: torn entry survived the rename"),
+            }
+        }
+        // No temp droppings left behind in the entry directories.
+        let domain_dir = root.join("v1").join("demo-v1");
+        for shard in std::fs::read_dir(&domain_dir).expect("domain dir") {
+            for entry in std::fs::read_dir(shard.expect("shard").path()).expect("shard dir") {
+                let name = entry.expect("entry").file_name();
+                let name = name.to_string_lossy().into_owned();
+                assert!(!name.ends_with(".tmp"), "leftover temp file {name}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn truncation_and_byte_flips_are_corrupt() {
         let root = scratch_root("corrupt");
         save(&root, "demo", 1, 7, b"a checksum-guarded payload").expect("save");

@@ -11,6 +11,7 @@
 //! Candidates that meet the acceptance criteria but violate the design
 //! constraints go through the backtracking procedure of Section III-C.
 
+use std::ops::ControlFlow;
 use std::time::Instant;
 
 use rsyn_logic::map::MapOptions;
@@ -98,7 +99,14 @@ impl ResynthCursor {
 
 /// Callback invoked after every accepted iteration with the accepted
 /// state, its replay record, and the cursor of the *next* iteration.
-pub type OnAccept<'a> = dyn FnMut(&DesignState, &AcceptedRemap, &ResynthCursor) + 'a;
+///
+/// Returning [`ControlFlow::Break`] stops the loop at this iteration
+/// boundary — the accepted state so far becomes the outcome. This is the
+/// hook behind cooperative cancellation and checkpoint-backed preemption:
+/// the caller has just checkpointed the accepted iteration, so stopping
+/// here loses nothing.
+pub type OnAccept<'a> =
+    dyn FnMut(&DesignState, &AcceptedRemap, &ResynthCursor) -> ControlFlow<()> + 'a;
 
 /// Trace of one accepted (or terminal) iteration, for the Fig. 2 series.
 #[derive(Clone, Debug)]
@@ -388,7 +396,7 @@ pub fn resynthesize(
         constraints,
         options,
         ResynthCursor::start(),
-        &mut |_, _, _| {},
+        &mut |_, _, _| ControlFlow::Continue(()),
     )
 }
 
@@ -455,7 +463,9 @@ pub fn resynthesize_from(
                     trace.push(trace_of(&state, Phase::One, banned, bt));
                     let next_cursor =
                         ResynthCursor { phase: Phase::One, iter_in_phase: iter, p2: None };
-                    on_accept(&state, &remap, &next_cursor);
+                    if on_accept(&state, &remap, &next_cursor).is_break() {
+                        return ResynthOutcome { state, trace, full_evaluations: evaluations };
+                    }
                 }
                 None => break,
             }
@@ -505,7 +515,9 @@ pub fn resynthesize_from(
                 trace.push(trace_of(&state, Phase::Two, banned, bt));
                 let next_cursor =
                     ResynthCursor { phase: Phase::Two, iter_in_phase: iter, p2: Some(p2) };
-                on_accept(&state, &remap, &next_cursor);
+                if on_accept(&state, &remap, &next_cursor).is_break() {
+                    return ResynthOutcome { state, trace, full_evaluations: evaluations };
+                }
             }
             None => break,
         }

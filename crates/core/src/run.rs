@@ -22,6 +22,7 @@
 //! and is validated against the checkpoint's verdict dictionary before the
 //! loop continues.
 
+use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
@@ -31,12 +32,13 @@ use rsyn_logic::map::MapOptions;
 use rsyn_logic::Window;
 use rsyn_netlist::{CellId, GateId, Library, Netlist};
 use rsyn_pdesign::place::PlaceError;
-use rsyn_resilience::{Checkpoint, FlowError, RemapRecord, ResumeCursor};
+use rsyn_resilience::{Checkpoint, FlowError, RemapRecord, ResumeCursor, RunControl, StopCause};
 
 use crate::constraints::DesignConstraints;
 use crate::flow::{DesignState, FlowContext};
 use crate::resynth::{
     resynthesize_from, AcceptedRemap, IterationTrace, Phase, ResynthCursor, ResynthOptions,
+    ResynthOutcome,
 };
 
 /// Options for one resilient flow run.
@@ -52,6 +54,10 @@ pub struct FlowOptions {
     pub circuit: String,
     /// Where per-iteration checkpoints go; `None` disables checkpointing.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Cooperative stop handle, polled at iteration boundaries (right
+    /// after each accepted iteration is checkpointed) and once before the
+    /// loop starts. The default handle never stops the run.
+    pub control: RunControl,
 }
 
 impl FlowOptions {
@@ -64,6 +70,7 @@ impl FlowOptions {
             run_name: run_name.to_string(),
             circuit: circuit.to_string(),
             checkpoint_dir: None,
+            control: RunControl::default(),
         }
     }
 }
@@ -90,6 +97,11 @@ pub struct FlowReport {
     pub checkpoints_written: usize,
     /// Full `PDesign()`+ATPG evaluations in the live (non-replayed) part.
     pub full_evaluations: usize,
+    /// Why the run stopped early, if [`FlowOptions::control`] requested a
+    /// stop at an iteration boundary; `None` means it ran to completion.
+    /// A `Preempted` stop left a checkpoint behind (when checkpointing is
+    /// enabled) that resumes byte-identically.
+    pub stopped: Option<StopCause>,
 }
 
 /// Runs the resilient flow from a seed netlist.
@@ -197,8 +209,15 @@ fn drive(
     let mut recovered: Vec<FlowError> = Vec::new();
     let mut best: Option<DesignState> = None;
     let mut checkpoints_written = 0usize;
+    // Polled once up front (a job may be cancelled or past its deadline
+    // before doing any work) and then at every iteration boundary, right
+    // after the accepted iteration has been checkpointed — so a
+    // `Preempted` stop always leaves a resumable checkpoint behind.
+    let mut stopped: Option<StopCause> = options.control.poll();
 
-    let outcome = {
+    let outcome = if stopped.is_some() {
+        Ok(ResynthOutcome { state: start.clone(), trace: Vec::new(), full_evaluations: 0 })
+    } else {
         // The pre-iteration netlist: window gate ids in an `AcceptedRemap`
         // refer to it, so names must be resolved against it, not the
         // accepted state.
@@ -207,6 +226,7 @@ fn drive(
         let recovered = &mut recovered;
         let best = &mut best;
         let checkpoints_written = &mut checkpoints_written;
+        let stopped = &mut stopped;
         catch_unwind(AssertUnwindSafe(|| {
             resynthesize_from(
                 &start,
@@ -227,6 +247,11 @@ fn drive(
                             }
                         }
                     }
+                    if let Some(cause) = options.control.poll() {
+                        *stopped = Some(cause);
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
                 },
             )
         }))
@@ -255,6 +280,7 @@ fn drive(
         recovered,
         checkpoints_written,
         full_evaluations,
+        stopped,
     })
 }
 
@@ -274,6 +300,12 @@ fn write_checkpoint(
     // writes fewer checkpoints) and break stable-manifest byte-identity.
     let _span = rsyn_observe::span_volatile("flow.checkpoint");
     let _zone = rsyn_observe::trace::zone("flow.checkpoint.write", log.len() as u64);
+    if rsyn_resilience::inject::should_fail_checkpoint_write() {
+        return Err(FlowError::Checkpoint {
+            path: dir.display().to_string(),
+            message: "injected checkpoint write failure".to_string(),
+        });
+    }
     std::fs::create_dir_all(dir).map_err(|e| FlowError::Checkpoint {
         path: dir.display().to_string(),
         message: format!("create dir failed: {e}"),

@@ -274,6 +274,22 @@ pub fn add_many(entries: &[(&'static str, u64)]) {
     }
 }
 
+/// Publishes a pre-aggregated histogram under `name`, merging it into the
+/// deterministic `hist.<name>.*` counter encoding (see [`hist_add`]).
+///
+/// This is the write-through path for subsystems that keep their own
+/// [`Hist`] — e.g. a server sampling its queue depth per enqueue — and
+/// publish once at shutdown instead of paying a record per sample. The
+/// name is dynamic (no `&'static str` requirement) because the merge goes
+/// straight to the registry, bypassing the thread-local buffer. Empty
+/// histograms and paused windows record nothing.
+pub fn record_hist(name: &str, h: &Hist) {
+    if h.is_empty() || paused() {
+        return;
+    }
+    hist::merge_into_counters(&mut lock().counters, name, h);
+}
+
 /// Suspends deterministic-counter (and deterministic-histogram) recording
 /// until the guard drops.
 ///
@@ -488,6 +504,34 @@ mod tests {
         assert!(!counters().contains_key("zero"), "zero adds do not create counters");
         reset();
         assert!(counters().is_empty());
+    }
+
+    #[test]
+    fn record_hist_publishes_preaggregated_histograms() {
+        let _g = isolation_lock();
+        reset();
+        let mut h = Hist::default();
+        for v in [1u64, 2, 2, 40] {
+            h.record(v);
+        }
+        record_hist("queue.depth", &h);
+        assert_eq!(counter("hist.queue.depth.count"), 4);
+        assert_eq!(counter("hist.queue.depth.sum"), 45);
+        let back = Hist::from_counters(&counters(), "queue.depth").expect("roundtrip");
+        assert_eq!(back.count, 4);
+        assert_eq!(back.min, 1);
+        assert_eq!(back.max, 40);
+        // Merging twice accumulates; empty and paused publishes are no-ops.
+        record_hist("queue.depth", &h);
+        assert_eq!(counter("hist.queue.depth.count"), 8);
+        record_hist("queue.empty", &Hist::default());
+        assert!(!counters().contains_key("hist.queue.empty.count"));
+        {
+            let _p = pause();
+            record_hist("queue.paused", &h);
+        }
+        assert!(!counters().contains_key("hist.queue.paused.count"));
+        reset();
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //!
 //! An [`InjectionPlan`] names the exact sites where the flow must fail:
 //! the *n*-th `PDesign()` call rejects, the PODEM search for global fault
-//! *i* of ATPG run *r* aborts, shard *s* of run *r* errors, or a
-//! `PDesign()` call reports inflated timing. Sites are keyed by
-//! deterministic serial ordinals (call counts, fault indices, shard
+//! *i* of ATPG run *r* aborts, shard *s* of run *r* errors, a
+//! `PDesign()` call reports inflated timing, the *n*-th server worker
+//! pickup crashes, the *n*-th flow checkpoint write fails, or the *n*-th
+//! server submission is shed as if the queue were full. Sites are keyed
+//! by deterministic serial ordinals (call counts, fault indices, shard
 //! indices), never by wall-clock or thread identity, so an injected
 //! failure fires at the same place on every run and every thread count.
 //!
@@ -14,8 +16,14 @@
 //! process-wide mutex so concurrent tests cannot observe each other's
 //! plans. With no plan armed, the flow pays one relaxed atomic load per
 //! query site.
+//!
+//! Every fired site bumps its `inject.fired.*` counter (see
+//! [`FATE_COUNTERS`]) *and* a pause-immune tally readable via
+//! [`ArmedPlan::fired_counts`] — the latter survives
+//! `rsyn_observe::pause()` windows (checkpoint replay) that drop
+//! counter increments process-wide.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
@@ -25,7 +33,9 @@ use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 /// `physical_design_in` calls process-wide since arming; ATPG run ordinals
 /// count `run_atpg` entries since arming; fault indices are positions in
 /// the run's full fault list; shard indices are positions in the run's
-/// deterministic shard split.
+/// deterministic shard split; worker-crash ordinals count job executions
+/// picked up by server workers; checkpoint ordinals count flow checkpoint
+/// writes; queue-full ordinals count server submissions.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct InjectionPlan {
     /// `physical_design_in` call ordinals that return a placement error.
@@ -43,6 +53,15 @@ pub struct InjectionPlan {
     /// `(atpg run ordinal, shard index)` pairs whose first execution
     /// fails; the engine's shard retry then recovers them.
     pub shard_failures: BTreeSet<(u64, u64)>,
+    /// Server job-execution ordinals whose worker panics before running
+    /// the flow; the server's `catch_unwind` containment requeues them.
+    pub worker_crashes: BTreeSet<u64>,
+    /// Flow checkpoint-write ordinals that fail with a checkpoint error;
+    /// the driver absorbs the failure and keeps iterating.
+    pub checkpoint_write_failures: BTreeSet<u64>,
+    /// Server submission ordinals shed as if the queue were at capacity;
+    /// clients observe an explicit `Shed` verdict and may retry.
+    pub queue_full: BTreeSet<u64>,
 }
 
 impl InjectionPlan {
@@ -79,6 +98,24 @@ impl InjectionPlan {
     /// Fails shard `shard` of ATPG run `run` on its first execution.
     pub fn fail_shard(mut self, run: u64, shard: u64) -> Self {
         self.shard_failures.insert((run, shard));
+        self
+    }
+
+    /// Crashes the worker picking up the `ordinal`-th job execution.
+    pub fn crash_worker(mut self, ordinal: u64) -> Self {
+        self.worker_crashes.insert(ordinal);
+        self
+    }
+
+    /// Fails the `ordinal`-th flow checkpoint write.
+    pub fn fail_checkpoint_write(mut self, ordinal: u64) -> Self {
+        self.checkpoint_write_failures.insert(ordinal);
+        self
+    }
+
+    /// Sheds the `ordinal`-th server submission as queue-full.
+    pub fn reject_submit(mut self, ordinal: u64) -> Self {
+        self.queue_full.insert(ordinal);
         self
     }
 
@@ -119,8 +156,24 @@ impl InjectionPlan {
             && self.pdesign_inflations.is_empty()
             && self.podem_aborts.is_empty()
             && self.shard_failures.is_empty()
+            && self.worker_crashes.is_empty()
+            && self.checkpoint_write_failures.is_empty()
+            && self.queue_full.is_empty()
     }
 }
+
+/// Every `inject.fired.*` counter an armed plan can bump, one per fate.
+/// The injection-site completeness test iterates this list to prove no
+/// site has gone dead.
+pub const FATE_COUNTERS: [&str; 7] = [
+    "inject.fired.pdesign_reject",
+    "inject.fired.pdesign_inflate",
+    "inject.fired.podem_abort",
+    "inject.fired.shard",
+    "inject.fired.worker_crash",
+    "inject.fired.checkpoint_write",
+    "inject.fired.queue_full",
+];
 
 struct ActivePlan {
     plan: InjectionPlan,
@@ -128,6 +181,8 @@ struct ActivePlan {
     fired_aborts: BTreeSet<(u64, u64)>,
     /// `(run, shard)` failures already fired (consume-once).
     fired_shards: BTreeSet<(u64, u64)>,
+    /// Pause-immune per-fate tallies, keyed by [`FATE_COUNTERS`] names.
+    fired: BTreeMap<&'static str, u64>,
 }
 
 /// Fast-path gate: `false` means no plan is armed and every query returns
@@ -137,6 +192,12 @@ static ARMED: AtomicBool = AtomicBool::new(false);
 static PDESIGN_ORDINAL: AtomicU64 = AtomicU64::new(0);
 /// Serial ordinal of `run_atpg` entries since arming.
 static ATPG_ORDINAL: AtomicU64 = AtomicU64::new(0);
+/// Serial ordinal of server job executions since arming.
+static WORKER_ORDINAL: AtomicU64 = AtomicU64::new(0);
+/// Serial ordinal of flow checkpoint writes since arming.
+static CHECKPOINT_ORDINAL: AtomicU64 = AtomicU64::new(0);
+/// Serial ordinal of server submissions since arming.
+static SUBMIT_ORDINAL: AtomicU64 = AtomicU64::new(0);
 
 fn active() -> &'static Mutex<Option<ActivePlan>> {
     static ACTIVE: OnceLock<Mutex<Option<ActivePlan>>> = OnceLock::new();
@@ -152,12 +213,32 @@ fn session() -> &'static Mutex<()> {
     SESSION.get_or_init(|| Mutex::new(()))
 }
 
+/// Bumps the pause-immune tally under `guard`, then (after releasing the
+/// lock) the deterministic counter of the same name.
+fn record_fired(mut guard: MutexGuard<'static, Option<ActivePlan>>, name: &'static str) {
+    if let Some(active) = guard.as_mut() {
+        *active.fired.entry(name).or_insert(0) += 1;
+    }
+    drop(guard);
+    rsyn_observe::add(name, 1);
+}
+
 /// Guard returned by [`arm`]; injection stays active until it drops.
 ///
 /// Holding the guard also holds a process-wide session lock, serialising
 /// tests that arm plans against each other.
 pub struct ArmedPlan {
     _session: MutexGuard<'static, ()>,
+}
+
+impl ArmedPlan {
+    /// Pause-immune per-fate fired tallies, keyed by the
+    /// [`FATE_COUNTERS`] names. Unlike the `inject.fired.*` counters,
+    /// these survive process-global `rsyn_observe::pause()` windows, so
+    /// they are the authoritative record of which sites actually fired.
+    pub fn fired_counts(&self) -> BTreeMap<&'static str, u64> {
+        active_lock().as_ref().map(|a| a.fired.clone()).unwrap_or_default()
+    }
 }
 
 impl Drop for ArmedPlan {
@@ -173,10 +254,17 @@ impl Drop for ArmedPlan {
 /// previously armed plan is dropped.
 pub fn arm(plan: InjectionPlan) -> ArmedPlan {
     let session = session().lock().unwrap_or_else(PoisonError::into_inner);
-    *active_lock() =
-        Some(ActivePlan { plan, fired_aborts: BTreeSet::new(), fired_shards: BTreeSet::new() });
+    *active_lock() = Some(ActivePlan {
+        plan,
+        fired_aborts: BTreeSet::new(),
+        fired_shards: BTreeSet::new(),
+        fired: BTreeMap::new(),
+    });
     PDESIGN_ORDINAL.store(0, Ordering::SeqCst);
     ATPG_ORDINAL.store(0, Ordering::SeqCst);
+    WORKER_ORDINAL.store(0, Ordering::SeqCst);
+    CHECKPOINT_ORDINAL.store(0, Ordering::SeqCst);
+    SUBMIT_ORDINAL.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     ArmedPlan { _session: session }
 }
@@ -222,14 +310,12 @@ pub fn pdesign_fate() -> PdesignFate {
     let guard = active_lock();
     let Some(active) = guard.as_ref() else { return PdesignFate::Normal };
     if active.plan.pdesign_rejects.contains(&ordinal) {
-        drop(guard);
-        rsyn_observe::add("inject.fired.pdesign_reject", 1);
+        record_fired(guard, "inject.fired.pdesign_reject");
         return PdesignFate::Reject;
     }
     if active.plan.pdesign_inflations.contains(&ordinal) {
         let percent = active.plan.inflation_percent;
-        drop(guard);
-        rsyn_observe::add("inject.fired.pdesign_inflate", 1);
+        record_fired(guard, "inject.fired.pdesign_inflate");
         return PdesignFate::InflateDelay { percent };
     }
     PdesignFate::Normal
@@ -246,8 +332,7 @@ pub fn should_abort_podem(run: u64, fault_index: u64) -> bool {
     let Some(active) = guard.as_mut() else { return false };
     let key = (run, fault_index);
     if active.plan.podem_aborts.contains(&key) && active.fired_aborts.insert(key) {
-        drop(guard);
-        rsyn_observe::add("inject.fired.podem_abort", 1);
+        record_fired(guard, "inject.fired.podem_abort");
         return true;
     }
     false
@@ -263,8 +348,58 @@ pub fn should_fail_shard(run: u64, shard: u64) -> bool {
     let Some(active) = guard.as_mut() else { return false };
     let key = (run, shard);
     if active.plan.shard_failures.contains(&key) && active.fired_shards.insert(key) {
-        drop(guard);
-        rsyn_observe::add("inject.fired.shard", 1);
+        record_fired(guard, "inject.fired.shard");
+        return true;
+    }
+    false
+}
+
+/// True when the server worker picking up the next job execution must
+/// panic, advancing the execution ordinal. The server's `catch_unwind`
+/// containment turns the panic into a retry.
+pub fn should_crash_worker() -> bool {
+    if !is_armed() {
+        return false;
+    }
+    let ordinal = WORKER_ORDINAL.fetch_add(1, Ordering::SeqCst);
+    let guard = active_lock();
+    let Some(active) = guard.as_ref() else { return false };
+    if active.plan.worker_crashes.contains(&ordinal) {
+        record_fired(guard, "inject.fired.worker_crash");
+        return true;
+    }
+    false
+}
+
+/// True when the next flow checkpoint write must fail, advancing the
+/// write ordinal. The run driver absorbs the failure (the previous
+/// checkpoint stays in place) and keeps iterating.
+pub fn should_fail_checkpoint_write() -> bool {
+    if !is_armed() {
+        return false;
+    }
+    let ordinal = CHECKPOINT_ORDINAL.fetch_add(1, Ordering::SeqCst);
+    let guard = active_lock();
+    let Some(active) = guard.as_ref() else { return false };
+    if active.plan.checkpoint_write_failures.contains(&ordinal) {
+        record_fired(guard, "inject.fired.checkpoint_write");
+        return true;
+    }
+    false
+}
+
+/// True when the next server submission must be shed as queue-full,
+/// advancing the submission ordinal. Clients see an explicit `Shed`
+/// verdict and retry with backoff.
+pub fn should_shed_submit() -> bool {
+    if !is_armed() {
+        return false;
+    }
+    let ordinal = SUBMIT_ORDINAL.fetch_add(1, Ordering::SeqCst);
+    let guard = active_lock();
+    let Some(active) = guard.as_ref() else { return false };
+    if active.plan.queue_full.contains(&ordinal) {
+        record_fired(guard, "inject.fired.queue_full");
         return true;
     }
     false
@@ -280,6 +415,9 @@ mod tests {
         assert_eq!(pdesign_fate(), PdesignFate::Normal);
         assert!(!should_abort_podem(0, 0));
         assert!(!should_fail_shard(0, 0));
+        assert!(!should_crash_worker());
+        assert!(!should_fail_checkpoint_write());
+        assert!(!should_shed_submit());
     }
 
     #[test]
@@ -304,9 +442,39 @@ mod tests {
         assert!(should_fail_shard(1, 0));
         assert!(!should_fail_shard(1, 0), "shard sites are consume-once");
 
+        let fired = armed.fired_counts();
+        assert_eq!(fired.get("inject.fired.pdesign_reject"), Some(&1));
+        assert_eq!(fired.get("inject.fired.pdesign_inflate"), Some(&1));
+        assert_eq!(fired.get("inject.fired.podem_abort"), Some(&1));
+        assert_eq!(fired.get("inject.fired.shard"), Some(&1));
+
         drop(armed);
         assert!(!is_armed());
         assert_eq!(pdesign_fate(), PdesignFate::Normal);
+    }
+
+    #[test]
+    fn server_fates_fire_at_exact_ordinals() {
+        let plan = InjectionPlan::new().crash_worker(1).fail_checkpoint_write(0).reject_submit(2);
+        assert!(!plan.is_empty());
+        let armed = arm(plan);
+
+        assert!(!should_crash_worker()); // execution 0
+        assert!(should_crash_worker()); // execution 1
+        assert!(!should_crash_worker());
+
+        assert!(should_fail_checkpoint_write()); // write 0
+        assert!(!should_fail_checkpoint_write());
+
+        assert!(!should_shed_submit()); // submit 0
+        assert!(!should_shed_submit()); // submit 1
+        assert!(should_shed_submit()); // submit 2
+        assert!(!should_shed_submit());
+
+        let fired = armed.fired_counts();
+        assert_eq!(fired.get("inject.fired.worker_crash"), Some(&1));
+        assert_eq!(fired.get("inject.fired.checkpoint_write"), Some(&1));
+        assert_eq!(fired.get("inject.fired.queue_full"), Some(&1));
     }
 
     #[test]

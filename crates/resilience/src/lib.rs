@@ -20,18 +20,23 @@
 //! * [`checkpoint`] — the serialised state of the iterative resynthesis
 //!   loop (replaced-gate log, fault-verdict dictionary, iteration cursor,
 //!   deterministic counters), written after every accepted iteration so
-//!   `run_resumed()` can restart byte-identically.
+//!   `run_resumed()` can restart byte-identically;
+//! * [`control`] — the [`RunControl`] handle for cooperative
+//!   cancellation, deadlines, and checkpoint-backed preemption, polled by
+//!   the run driver at iteration boundaries.
 //!
 //! The crate depends only on `rsyn-observe` (for the JSON codec and the
 //! counter registry); the flow crates (`rsyn-atpg`, `rsyn-pdesign`,
 //! `rsyn-core`) consume it, never the other way around.
 
 pub mod checkpoint;
+pub mod control;
 pub mod error;
 pub mod inject;
 pub mod retry;
 
 pub use checkpoint::{Checkpoint, RemapRecord, ResumeCursor, CHECKPOINT_SCHEMA};
+pub use control::{RunControl, StopCause};
 pub use error::{FlowError, Severity};
 pub use inject::{ArmedPlan, InjectionPlan};
-pub use retry::EscalationPolicy;
+pub use retry::{BackoffPolicy, EscalationPolicy};

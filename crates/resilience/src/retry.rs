@@ -1,4 +1,4 @@
-//! Bounded retry policies for abort escalation.
+//! Bounded retry policies: abort escalation and deterministic backoff.
 //!
 //! A PODEM search that hits its backtrack limit returns
 //! `PodemOutcome::Aborted` — the fault is neither detected nor proven
@@ -7,6 +7,14 @@
 //! `256 → 1024 → 4096` under the default policy. Escalation happens
 //! *inside the owning shard*, so the retry count and the final verdict are
 //! independent of the worker-thread count.
+//!
+//! [`BackoffPolicy`] is the time-domain sibling used by the flow server:
+//! exponentially growing, capped retry delays with *deterministic* jitter.
+//! The jitter is drawn from a SplitMix64 stream keyed by `(seed, key,
+//! attempt)` — the same ordinal-keyed discipline as
+//! [`crate::inject::InjectionPlan`] — so a backoff schedule replays
+//! identically in tests and across runs, yet distinct jobs still spread
+//! out in time.
 
 /// Geometric escalation of a backtrack limit, bounded by a cap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +58,78 @@ impl EscalationPolicy {
     }
 }
 
+/// Exponential backoff with a cap and deterministic, replayable jitter.
+///
+/// `delay_ms(key, attempt)` grows geometrically from `base_ms` by
+/// `factor` per attempt, clamps at `cap_ms`, then adds up to
+/// `jitter_percent`% of the clamped delay. The jitter term is a pure
+/// function of `(seed, key, attempt)`, so the full schedule for a job is
+/// reproducible — use the job's stable ordinal or content hash as `key`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay of attempt 0, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per attempt.
+    pub factor: u64,
+    /// Hard ceiling on the un-jittered delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Maximum jitter added, as a percentage of the clamped delay
+    /// (25 = up to +25%). Zero disables jitter.
+    pub jitter_percent: u64,
+    /// Seed of the jitter stream; schedules with equal seeds are equal.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy { base_ms: 10, factor: 2, cap_ms: 500, jitter_percent: 25, seed: 0xB0FF }
+    }
+}
+
+/// One SplitMix64 output for input `x` (same constants as
+/// [`crate::inject::InjectionPlan::random`]).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BackoffPolicy {
+    /// A policy with no delay at all (tests, impatient callers).
+    pub fn immediate() -> Self {
+        BackoffPolicy { base_ms: 0, factor: 1, cap_ms: 0, jitter_percent: 0, seed: 0 }
+    }
+
+    /// The delay before retry number `attempt` (0-based) of the schedule
+    /// keyed by `key`, in milliseconds. Deterministic in
+    /// `(self, key, attempt)`.
+    pub fn delay_ms(&self, key: u64, attempt: u32) -> u64 {
+        let mut delay = self.base_ms;
+        for _ in 0..attempt {
+            delay = delay.saturating_mul(self.factor.max(1));
+            if delay >= self.cap_ms {
+                break;
+            }
+        }
+        delay = delay.min(self.cap_ms);
+        if self.jitter_percent == 0 || delay == 0 {
+            return delay;
+        }
+        let span = delay * self.jitter_percent / 100;
+        if span == 0 {
+            return delay;
+        }
+        let draw = splitmix64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(splitmix64(key))
+                .wrapping_add(u64::from(attempt)),
+        );
+        delay + draw % (span + 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +152,49 @@ mod tests {
         assert!(EscalationPolicy { factor: 1, cap: 4096 }.limits(256).is_empty());
         assert!(EscalationPolicy { factor: 4, cap: 256 }.limits(256).is_empty());
         assert!(EscalationPolicy { factor: 4, cap: 100 }.limits(256).is_empty());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_replayable() {
+        let p = BackoffPolicy::default();
+        for attempt in 0..6 {
+            assert_eq!(p.delay_ms(7, attempt), p.delay_ms(7, attempt));
+        }
+        let q = BackoffPolicy { seed: p.seed + 1, ..p };
+        let differs = (0..6).any(|a| p.delay_ms(7, a) != q.delay_ms(7, a));
+        assert!(differs, "seed must shift the jitter stream");
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_the_cap() {
+        let p = BackoffPolicy { base_ms: 10, factor: 2, cap_ms: 100, jitter_percent: 0, seed: 0 };
+        assert_eq!(p.delay_ms(0, 0), 10);
+        assert_eq!(p.delay_ms(0, 1), 20);
+        assert_eq!(p.delay_ms(0, 2), 40);
+        assert_eq!(p.delay_ms(0, 3), 80);
+        assert_eq!(p.delay_ms(0, 4), 100, "clamped at the cap");
+        assert_eq!(p.delay_ms(0, 30), 100, "no overflow at large attempts");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_key_sensitive() {
+        let p = BackoffPolicy { base_ms: 100, factor: 2, cap_ms: 400, jitter_percent: 25, seed: 1 };
+        for key in 0..64u64 {
+            for attempt in 0..4 {
+                let raw = BackoffPolicy { jitter_percent: 0, ..p }.delay_ms(key, attempt);
+                let jittered = p.delay_ms(key, attempt);
+                assert!(jittered >= raw && jittered <= raw + raw / 4);
+            }
+        }
+        let spread: std::collections::BTreeSet<u64> =
+            (0..64u64).map(|key| p.delay_ms(key, 0)).collect();
+        assert!(spread.len() > 8, "keys must spread the schedule");
+    }
+
+    #[test]
+    fn immediate_backoff_never_sleeps() {
+        let p = BackoffPolicy::immediate();
+        assert_eq!(p.delay_ms(3, 0), 0);
+        assert_eq!(p.delay_ms(3, 9), 0);
     }
 }

@@ -1,0 +1,175 @@
+//! Bounded priority queue feeding the worker pool.
+//!
+//! A max-heap ordered by (priority, FIFO sequence): higher priorities pop
+//! first, equal priorities in submission order. The *client* push path is
+//! bounded — when the queue is full the submission is shed and the caller
+//! told so explicitly (graceful degradation beats an unbounded backlog).
+//! The *internal* push path (retry and preemption requeues) bypasses the
+//! bound: a job the server already accepted is never lost to capacity.
+//!
+//! Entries hold a snapshot of the job's priority at push time. Lazy
+//! reprioritisation pushes a *duplicate* entry at the new priority and
+//! relies on the job's claim-once phase machine to skip the stale one at
+//! pickup — a `BinaryHeap` cannot re-key in place.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::job::{JobInner, Priority};
+
+/// Explicit load-shedding verdict: the bounded client path is full.
+pub(crate) struct QueueFull;
+
+struct Entry {
+    priority: Priority,
+    seq: u64,
+    job: Arc<JobInner>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then FIFO (smaller seq first).
+        self.priority.cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<Entry>,
+    closed: bool,
+}
+
+pub(crate) struct JobQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+    seq: AtomicU64,
+}
+
+impl JobQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { heap: BinaryHeap::new(), closed: false }),
+            cv: Condvar::new(),
+            capacity,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn entry(&self, job: Arc<JobInner>) -> Entry {
+        Entry { priority: job.priority(), seq: self.seq.fetch_add(1, Ordering::Relaxed), job }
+    }
+
+    /// Bounded push for fresh submissions. Returns the queue depth after
+    /// the push, or [`QueueFull`] when at capacity.
+    pub(crate) fn push_client(&self, job: Arc<JobInner>) -> Result<usize, QueueFull> {
+        let entry = self.entry(job);
+        let mut state = self.lock();
+        if state.heap.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        state.heap.push(entry);
+        let depth = state.heap.len();
+        drop(state);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Unbounded push for requeues (retry, preemption) and duplicate
+    /// reprioritisation entries: accepted jobs are never lost to the
+    /// capacity bound. Returns the queue depth after the push.
+    pub(crate) fn push_internal(&self, job: Arc<JobInner>) -> usize {
+        let entry = self.entry(job);
+        let mut state = self.lock();
+        state.heap.push(entry);
+        let depth = state.heap.len();
+        drop(state);
+        self.cv.notify_one();
+        depth
+    }
+
+    /// Blocks for the next job. Remaining entries are drained even after
+    /// [`JobQueue::close`]; `None` means closed *and* empty — the worker
+    /// should exit.
+    pub(crate) fn pop(&self) -> Option<Arc<JobInner>> {
+        let mut state = self.lock();
+        loop {
+            if let Some(entry) = state.heap.pop() {
+                return Some(entry.job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pops drain what is left, then return `None`.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use rsyn_circuits::build_benchmark_with;
+    use rsyn_core::FlowContext;
+
+    fn job(key: u128, priority: Priority) -> Arc<JobInner> {
+        let ctx = FlowContext::new(rsyn_netlist::Library::osu018());
+        let nl = build_benchmark_with("sparc_ffu", &ctx.lib, &ctx.mapper).expect("benchmark");
+        Arc::new(JobInner::new(key, JobSpec::new(nl, "sparc_ffu").with_priority(priority)))
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(8);
+        q.push_client(job(1, Priority::Normal)).ok().expect("fits");
+        q.push_client(job(2, Priority::Low)).ok().expect("fits");
+        q.push_client(job(3, Priority::High)).ok().expect("fits");
+        q.push_client(job(4, Priority::Normal)).ok().expect("fits");
+        let order: Vec<u128> = (0..4).map(|_| q.pop().expect("entry").key).collect();
+        assert_eq!(order, [3, 1, 4, 2], "priority desc, FIFO within a level");
+    }
+
+    #[test]
+    fn client_pushes_are_bounded_but_internal_pushes_are_not() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push_client(job(1, Priority::Normal)).ok(), Some(1));
+        assert_eq!(q.push_client(job(2, Priority::Normal)).ok(), Some(2));
+        assert!(q.push_client(job(3, Priority::High)).is_err(), "full for clients");
+        assert_eq!(q.push_internal(job(4, Priority::Low)), 3, "requeues always land");
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn close_drains_leftovers_then_reports_empty() {
+        let q = JobQueue::new(4);
+        q.push_client(job(7, Priority::Normal)).ok().expect("fits");
+        q.close();
+        assert_eq!(q.pop().expect("leftover drains").key, 7);
+        assert!(q.pop().is_none(), "closed and empty");
+    }
+}

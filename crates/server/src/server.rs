@@ -1,0 +1,528 @@
+//! The flow service itself: worker pool, scheduling, fault containment.
+//!
+//! # Lifecycle of a submission
+//!
+//! 1. `submit` derives the job's content-addressed key; an identical
+//!    in-flight job coalesces (sharing one execution and outcome).
+//! 2. Fresh jobs go through the *bounded* client queue path; at capacity
+//!    the submission is shed with an explicit verdict instead of growing
+//!    an unbounded backlog.
+//! 3. A worker claims the job, builds `FlowOptions` with the job's
+//!    [`RunControl`](rsyn_resilience::RunControl) (deadline armed at
+//!    submission) and a per-job checkpoint directory, and runs the flow —
+//!    resuming from the latest checkpoint when one exists.
+//! 4. Failures are contained: a worker panic is caught with
+//!    `catch_unwind` and converted into a recoverable error; recoverable
+//!    errors retry with deterministic jittered exponential backoff until
+//!    the attempt budget is spent; a preempted job requeues at its
+//!    current attempt and resumes byte-identically from its checkpoint.
+//!
+//! # Counters
+//!
+//! Scheduling decisions are timing-dependent, so the server tallies them
+//! in internal atomics and publishes them **once, at shutdown** as
+//! `server.*` counters — keeping the per-run deterministic counter
+//! contract intact while the pool races:
+//!
+//! | counter | meaning |
+//! |---|---|
+//! | `server.submitted` | submissions received (incl. shed/coalesced) |
+//! | `server.coalesced` | submissions joined to an in-flight job |
+//! | `server.shed`      | submissions rejected (queue full / injected) |
+//! | `server.completed` | jobs that finished with a report |
+//! | `server.failed`    | jobs that failed fatally or exhausted retries |
+//! | `server.cancelled` | jobs cancelled by their owner |
+//! | `server.deadline`  | jobs that hit their deadline |
+//! | `server.retry`     | backoff retries scheduled |
+//! | `server.requeue`   | re-entries into the queue (retry + preempt) |
+//! | `server.panic`     | worker panics contained by `catch_unwind` |
+//! | `server.preempt`   | preemption signals sent to running jobs |
+//! | `server.resume`    | executions resumed from a checkpoint |
+//!
+//! Queue depth is published as the `hist.server.queue_depth.*` histogram.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use rsyn_core::{run, run_resumed, FlowContext, FlowOptions, FlowReport};
+use rsyn_netlist::Library;
+use rsyn_observe::Hist;
+use rsyn_resilience::retry::BackoffPolicy;
+use rsyn_resilience::{inject, Checkpoint, FlowError, StopCause};
+
+use crate::job::{job_key, JobHandle, JobInner, JobOutcome, JobSpec, Priority};
+use crate::queue::{JobQueue, QueueFull};
+
+/// Tuning of one [`Server`] instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads in the pool (min 1).
+    pub workers: usize,
+    /// Bound of the client submission queue; beyond it submissions shed.
+    pub queue_capacity: usize,
+    /// Root for per-job checkpoint directories (`<work_dir>/jobs/<key>`).
+    pub work_dir: PathBuf,
+    /// ATPG threads *per worker* (jobs are bit-identical across thread
+    /// counts, so this only trades latency for parallelism).
+    pub atpg_threads: usize,
+    /// Execution attempts per job before a recoverable failure becomes
+    /// terminal (min 1).
+    pub max_attempts: u32,
+    /// Backoff schedule between retry attempts.
+    pub backoff: BackoffPolicy,
+    /// Whether a `High` submission may preempt a running lower-priority
+    /// job at its next checkpoint boundary.
+    pub preemption: bool,
+}
+
+impl ServerConfig {
+    /// A small default pool: 2 workers, capacity 64, 1 ATPG thread per
+    /// worker, 4 attempts, default backoff, preemption on.
+    pub fn new(work_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            work_dir: work_dir.into(),
+            atpg_threads: 1,
+            max_attempts: 4,
+            backoff: BackoffPolicy::default(),
+            preemption: true,
+        }
+    }
+}
+
+/// What happened to one `submit` call.
+pub enum SubmitVerdict {
+    /// A fresh job was queued.
+    Queued(JobHandle),
+    /// The request joined an identical in-flight job.
+    Coalesced(JobHandle),
+    /// The request was rejected under load (bounded queue full). The
+    /// caller owns the retry decision — nothing was enqueued.
+    Shed,
+}
+
+impl SubmitVerdict {
+    /// The handle, unless the submission was shed.
+    pub fn handle(&self) -> Option<&JobHandle> {
+        match self {
+            SubmitVerdict::Queued(h) | SubmitVerdict::Coalesced(h) => Some(h),
+            SubmitVerdict::Shed => None,
+        }
+    }
+
+    /// True when the submission was rejected under load.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, SubmitVerdict::Shed)
+    }
+}
+
+#[derive(Default)]
+struct StatsCells {
+    submitted: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline: AtomicU64,
+    retries: AtomicU64,
+    requeues: AtomicU64,
+    panics: AtomicU64,
+    preempts: AtomicU64,
+    resumes: AtomicU64,
+}
+
+/// Snapshot of the server's scheduling tallies (see the module docs for
+/// the meaning of each field).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct ServerStats {
+    pub submitted: u64,
+    pub coalesced: u64,
+    pub shed: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub deadline: u64,
+    pub retries: u64,
+    pub requeues: u64,
+    pub panics: u64,
+    pub preempts: u64,
+    pub resumes: u64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline: self.deadline.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            requeues: self.requeues.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            preempts: self.preempts.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    lib: Arc<Library>,
+    queue: JobQueue,
+    /// Open (not yet terminal) jobs by key — the coalescing map.
+    inflight: Mutex<HashMap<u128, Arc<JobInner>>>,
+    /// What each worker is executing right now (preemption victims).
+    running: Mutex<Vec<Option<Arc<JobInner>>>>,
+    /// Open-job count + condvar for `drain`.
+    open: Mutex<usize>,
+    drain_cv: Condvar,
+    stats: StatsCells,
+    depth_hist: Mutex<Hist>,
+    /// Fallback identity source for non-canonical netlists.
+    serial: AtomicU64,
+}
+
+/// A running flow service. Dropping it closes the queue and joins the
+/// workers (finishing whatever is still queued); prefer
+/// [`Server::shutdown`], which also publishes the `server.*` counters.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServerConfig, lib: Arc<Library>) -> Server {
+        let worker_count = cfg.workers.max(1);
+        let capacity = cfg.queue_capacity.max(1);
+        let inner = Arc::new(ServerInner {
+            cfg,
+            lib,
+            queue: JobQueue::new(capacity),
+            inflight: Mutex::new(HashMap::new()),
+            running: Mutex::new(vec![None; worker_count]),
+            open: Mutex::new(0),
+            drain_cv: Condvar::new(),
+            stats: StatsCells::default(),
+            depth_hist: Mutex::new(Hist::default()),
+            serial: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|wid| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rsyn-server-{wid}"))
+                    .spawn(move || worker_loop(&inner, wid))
+                    .expect("spawn server worker")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// Submits one job. See [`SubmitVerdict`] for the three possible
+    /// fates; on [`SubmitVerdict::Coalesced`] the *first* submission's
+    /// execution is shared, with the priority bumped to the maximum of
+    /// all coalesced requests (never lowered).
+    pub fn submit(&self, spec: JobSpec) -> SubmitVerdict {
+        let inner = &*self.inner;
+        inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if inject::should_shed_submit() {
+            inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return SubmitVerdict::Shed;
+        }
+        let priority = spec.priority;
+        let (key, coalescable) = match job_key(&spec, &inner.lib) {
+            Some(key) => (key, true),
+            // No canonical encoding: unique serial key, never coalesces.
+            None => {
+                ((1u128 << 127) | u128::from(inner.serial.fetch_add(1, Ordering::Relaxed)), false)
+            }
+        };
+
+        // Hold the inflight lock across lookup + insert + queue push so a
+        // racing identical submission either coalesces or finds the queue
+        // entry installed (lock order: inflight -> queue, never reversed).
+        let mut inflight = lock(&inner.inflight);
+        if coalescable {
+            if let Some(job) = inflight.get(&key) {
+                inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                if job.raise_priority(priority) {
+                    // Lazy reprioritisation: duplicate entry at the new
+                    // priority; the stale one is skipped at pickup.
+                    inner.queue.push_internal(Arc::clone(job));
+                }
+                return SubmitVerdict::Coalesced(JobHandle { job: Arc::clone(job) });
+            }
+        }
+        let job = Arc::new(JobInner::new(key, spec));
+        match inner.queue.push_client(Arc::clone(&job)) {
+            Ok(depth) => {
+                inflight.insert(key, Arc::clone(&job));
+                *lock(&inner.open) += 1;
+                drop(inflight);
+                lock(&inner.depth_hist).record(depth as u64);
+                self.maybe_preempt(priority);
+                SubmitVerdict::Queued(JobHandle { job })
+            }
+            Err(QueueFull) => {
+                drop(inflight);
+                inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                SubmitVerdict::Shed
+            }
+        }
+    }
+
+    /// When every worker is busy and the incoming priority outranks a
+    /// running job, signal the lowest-priority victim to stop at its next
+    /// checkpoint boundary — it requeues and later resumes byte-identically.
+    fn maybe_preempt(&self, incoming: Priority) {
+        let inner = &*self.inner;
+        if !inner.cfg.preemption || incoming == Priority::Low {
+            return;
+        }
+        let running = lock(&inner.running);
+        if running.iter().any(Option::is_none) {
+            return; // an idle worker will pick the job up
+        }
+        let victim = running
+            .iter()
+            .flatten()
+            .filter(|job| job.priority() < incoming && !job.control.preempt_pending())
+            .min_by_key(|job| job.priority());
+        if let Some(victim) = victim {
+            inner.stats.preempts.fetch_add(1, Ordering::Relaxed);
+            victim.control.preempt();
+        }
+    }
+
+    /// Blocks until no job is open (queued, running, or between retries).
+    pub fn drain(&self) {
+        let mut open = lock(&self.inner.open);
+        while *open > 0 {
+            open = self.inner.drain_cv.wait(open).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Drains, stops the workers, publishes the `server.*` counters and
+    /// the queue-depth histogram, and returns the final tallies.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.drain();
+        self.inner.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let stats = self.inner.stats.snapshot();
+        rsyn_observe::add_many(&[
+            ("server.submitted", stats.submitted),
+            ("server.coalesced", stats.coalesced),
+            ("server.shed", stats.shed),
+            ("server.completed", stats.completed),
+            ("server.failed", stats.failed),
+            ("server.cancelled", stats.cancelled),
+            ("server.deadline", stats.deadline),
+            ("server.retry", stats.retries),
+            ("server.requeue", stats.requeues),
+            ("server.panic", stats.panics),
+            ("server.preempt", stats.preempts),
+            ("server.resume", stats.resumes),
+        ]);
+        rsyn_observe::flush();
+        rsyn_observe::record_hist("server.queue_depth", &lock(&self.inner.depth_hist));
+        stats
+    }
+
+    /// Current scheduling tallies (monotone while the server runs).
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Current queue depth (entries, including stale duplicates).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// True once `job`'s latest on-disk checkpoint exists, i.e. it has
+    /// completed at least one accepted iteration and a preemption now
+    /// would resume from disk rather than restart from scratch. Clients
+    /// that care about wasted work can poll this before submitting
+    /// higher-priority jobs.
+    pub fn has_checkpoint(&self, job: &JobHandle) -> bool {
+        checkpoint_path(&self.inner.cfg.work_dir, job.key()).exists()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn set_running(inner: &ServerInner, wid: usize, job: Option<Arc<JobInner>>) {
+    lock(&inner.running)[wid] = job;
+}
+
+fn worker_loop(inner: &Arc<ServerInner>, wid: usize) {
+    // One analysis context per worker, reused across jobs.
+    let ctx = FlowContext::new(Arc::clone(&inner.lib)).with_threads(inner.cfg.atpg_threads);
+    while let Some(job) = inner.queue.pop() {
+        if !job.begin_running() {
+            continue; // stale duplicate entry (reprioritised or finished)
+        }
+        if job.control.is_cancelled() {
+            finish(inner, &job, JobOutcome::Cancelled);
+            rsyn_observe::flush();
+            continue;
+        }
+        if job.control.deadline_passed() {
+            finish(inner, &job, JobOutcome::DeadlineExceeded);
+            rsyn_observe::flush();
+            continue;
+        }
+        set_running(inner, wid, Some(Arc::clone(&job)));
+        let crash = inject::should_crash_worker();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if crash {
+                panic!("injected worker crash");
+            }
+            execute(inner, &ctx, &job)
+        }));
+        set_running(inner, wid, None);
+        match result {
+            Err(payload) => {
+                // Contained worker panic: the job survives the worker.
+                inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+                let err = FlowError::Internal {
+                    stage: "server.worker".to_string(),
+                    message: panic_message(payload.as_ref()),
+                };
+                retry_or_fail(inner, job, err);
+            }
+            Ok(Err(err)) if err.is_recoverable() => retry_or_fail(inner, job, err),
+            Ok(Err(err)) => finish(inner, &job, JobOutcome::Failed(err)),
+            Ok(Ok(report)) => match report.stopped {
+                Some(StopCause::Preempted) => {
+                    // The checkpoint written at the stop boundary carries
+                    // the state; requeue without burning an attempt.
+                    job.control.clear_preempt();
+                    inner.stats.requeues.fetch_add(1, Ordering::Relaxed);
+                    job.mark_queued();
+                    inner.queue.push_internal(job);
+                }
+                Some(StopCause::Cancelled) => finish(inner, &job, JobOutcome::Cancelled),
+                Some(StopCause::Deadline) => finish(inner, &job, JobOutcome::DeadlineExceeded),
+                None => finish(inner, &job, JobOutcome::Completed(Arc::new(report))),
+            },
+        }
+        // Workers flush per job: thread-local buffers must not sit on
+        // counters past shutdown (TLS destructors may run after join).
+        rsyn_observe::flush();
+    }
+    rsyn_observe::flush();
+}
+
+/// One execution attempt: resume from the job's latest checkpoint when a
+/// valid one exists, otherwise run fresh. A checkpoint that fails
+/// validation (stale, injected write damage) falls back to a fresh run
+/// rather than failing the job.
+/// The latest-checkpoint path for a job key under `work_dir` — the file
+/// `execute` writes through the flow's checkpoint machinery and reads
+/// back on resume.
+fn checkpoint_path(work_dir: &Path, key: u128) -> PathBuf {
+    work_dir
+        .join("jobs")
+        .join(format!("{key:032x}"))
+        .join(format!("checkpoint-job-{key:032x}-latest.json"))
+}
+
+fn execute(
+    inner: &ServerInner,
+    ctx: &FlowContext,
+    job: &JobInner,
+) -> Result<FlowReport, FlowError> {
+    let run_name = format!("job-{:032x}", job.key);
+    let dir = inner.cfg.work_dir.join("jobs").join(format!("{:032x}", job.key));
+    let mut options = FlowOptions::new(&job.circuit, &run_name);
+    options.q_percent = job.q_percent;
+    options.resynth = job.resynth;
+    options.checkpoint_dir = Some(dir.clone());
+    options.control = job.control.clone();
+
+    let latest = checkpoint_path(&inner.cfg.work_dir, job.key);
+    if latest.exists() {
+        if let Ok(cp) = Checkpoint::read(&latest) {
+            match run_resumed(job.netlist.clone(), ctx, &options, &cp) {
+                Ok(report) => {
+                    inner.stats.resumes.fetch_add(1, Ordering::Relaxed);
+                    return Ok(report);
+                }
+                Err(FlowError::Checkpoint { .. }) => {} // stale: run fresh
+                Err(err) => return Err(err),
+            }
+        }
+    }
+    run(job.netlist.clone(), ctx, &options)
+}
+
+/// Books a recoverable failure against the attempt budget: either a
+/// deterministic jittered-backoff retry, or a terminal `Failed`.
+fn retry_or_fail(inner: &ServerInner, job: Arc<JobInner>, err: FlowError) {
+    let attempt = job.attempts.fetch_add(1, Ordering::Relaxed);
+    if attempt + 1 >= inner.cfg.max_attempts.max(1) {
+        finish(inner, &job, JobOutcome::Failed(err));
+        return;
+    }
+    inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+    let delay = inner.cfg.backoff.delay_ms(job.key as u64, attempt);
+    if delay > 0 {
+        std::thread::sleep(Duration::from_millis(delay));
+    }
+    inner.stats.requeues.fetch_add(1, Ordering::Relaxed);
+    job.mark_queued();
+    inner.queue.push_internal(job);
+}
+
+/// Finalises a job: tally, wake waiters, leave the coalescing map, and
+/// credit the drain count.
+fn finish(inner: &ServerInner, job: &Arc<JobInner>, outcome: JobOutcome) {
+    let cell = match &outcome {
+        JobOutcome::Completed(_) => &inner.stats.completed,
+        JobOutcome::Failed(_) => &inner.stats.failed,
+        JobOutcome::Cancelled => &inner.stats.cancelled,
+        JobOutcome::DeadlineExceeded => &inner.stats.deadline,
+    };
+    cell.fetch_add(1, Ordering::Relaxed);
+    job.finish(outcome);
+    lock(&inner.inflight).remove(&job.key);
+    let mut open = lock(&inner.open);
+    *open -= 1;
+    if *open == 0 {
+        inner.drain_cv.notify_all();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -5,10 +5,14 @@
 #   gates  — release build, tier-1 tests, and every behavioural gate:
 #            manifest determinism + baselines, failure injection,
 #            checkpoint/resume, warm cross-run cache, perf trajectory
-#   all    — both, in order
+#   server — flow-service storm: hundreds of concurrent submissions under
+#            injected worker crashes / checkpoint-write failures / PODEM
+#            aborts / queue-full sheds, plus checkpoint-backed preemption
+#            and direct-run result equivalence
+#   all    — everything, in order
 #
-# CI runs `lint` and `gates` as parallel jobs. Run from anywhere;
-# everything is offline.
+# CI runs `lint`, `gates`, and `server` as parallel jobs. Run from
+# anywhere; everything is offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -138,16 +142,44 @@ run_gates() {
     results/baselines/BENCH_flow.json "$SMOKE_DIR/f1/BENCH_flow.json"
 }
 
+run_server() {
+  echo "== cargo build --release (server storm + manifest checker)"
+  cargo build --release -p rsyn-bench --bin server_storm --bin check_manifest
+
+  # Same hygiene as the gates: the storm's equivalence phase compares
+  # server results against direct runs, so neither side may see an
+  # inherited cross-run cache.
+  unset RSYN_CACHE_DIR
+
+  echo "== flow-service storm gate (injection, preemption, equivalence)"
+  # The bin asserts its own gates: zero lost jobs (conservation law over
+  # the scheduling stats), every armed server fate fired at its exact
+  # ordinal count, preempted jobs resumed from their checkpoints, and
+  # every completed job's result digest byte-identical to a direct
+  # rsyn_core::run of the same (netlist, options). On top of that, the
+  # manifest must carry nonzero shed/retry/resume counters — the three
+  # recovery paths a refactor could silently disconnect.
+  STORM_DIR="$(mktemp -d)"
+  trap 'rm -rf "$STORM_DIR"' EXIT
+  RSYN_MANIFEST_DIR="$STORM_DIR" target/release/server_storm --inject --threads 4 \
+    --work-dir "$STORM_DIR/work"
+  target/release/check_manifest --determinism \
+    --require server.shed --require server.retry --require server.resume \
+    "$STORM_DIR/manifest-server_storm.json" "$STORM_DIR/manifest-server_storm.json"
+}
+
 STAGE="${1:-all}"
 case "$STAGE" in
   lint) run_lint ;;
   gates) run_gates ;;
+  server) run_server ;;
   all)
     run_lint
     run_gates
+    run_server
     ;;
   *)
-    echo "usage: $0 [lint|gates|all]" >&2
+    echo "usage: $0 [lint|gates|server|all]" >&2
     exit 2
     ;;
 esac
